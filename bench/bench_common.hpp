@@ -1,0 +1,65 @@
+// Shared workload generators and report helpers for the bench binaries.
+//
+// Every bench binary follows the same contract:
+//   * main() first prints the predicted-vs-measured tables reproducing its
+//     experiment ids from DESIGN.md / EXPERIMENTS.md (pure simulation, no
+//     timing involved), then
+//   * hands over to google-benchmark for wall-clock timings of the
+//     simulator itself (so regressions in the engine are visible too).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nobl::benchx {
+
+inline Matrix<long> random_matrix(std::uint64_t m, std::uint64_t seed) {
+  Matrix<long> a(m, m);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      a(i, j) = static_cast<long>(rng.below(128)) - 64;
+    }
+  }
+  return a;
+}
+
+inline std::vector<std::uint64_t> random_keys(std::uint64_t n,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.below(std::uint64_t{1} << 48);
+  return keys;
+}
+
+inline std::vector<std::complex<double>> random_signal(std::uint64_t n,
+                                                       std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {rng.unit() * 2 - 1, rng.unit() * 2 - 1};
+  return x;
+}
+
+inline std::vector<double> random_rod(std::uint64_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.unit();
+  return x;
+}
+
+/// Print a banner followed by tables; keeps bench mains tidy.
+inline void banner(const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << "  " << title
+            << "\n================================================================\n";
+}
+
+}  // namespace nobl::benchx

@@ -1,0 +1,109 @@
+// E-L31 / E-W: the framework-level invariants — Lemma 3.1's folding
+// inequality and the wiseness/fullness measurements — verified on the
+// traces of every Section-4 algorithm.
+#include "algorithms/broadcast.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/matmul_space.hpp"
+#include "algorithms/sort.hpp"
+#include "algorithms/stencil1d.hpp"
+#include "bench_common.hpp"
+#include "core/wiseness.hpp"
+
+namespace nobl {
+namespace {
+
+double heat(double l, double c, double r) {
+  return 0.25 * l + 0.5 * c + 0.25 * r;
+}
+
+struct Named {
+  std::string name;
+  Trace trace;
+};
+
+std::vector<Named> all_traces() {
+  std::vector<Named> out;
+  out.push_back({"matmul n=4096",
+                 matmul_oblivious(benchx::random_matrix(64, 1),
+                                  benchx::random_matrix(64, 2))
+                     .trace});
+  out.push_back({"matmul-space n=1024",
+                 matmul_space_oblivious(benchx::random_matrix(32, 3),
+                                        benchx::random_matrix(32, 4))
+                     .trace});
+  out.push_back({"fft n=4096",
+                 fft_oblivious(benchx::random_signal(4096, 5)).trace});
+  out.push_back({"sort n=1024",
+                 sort_oblivious(benchx::random_keys(1024, 6)).trace});
+  out.push_back({"stencil1 n=256",
+                 stencil1_oblivious(benchx::random_rod(256, 7), heat).trace});
+  out.push_back({"broadcast-oblivious p=4096",
+                 broadcast_oblivious(4096, 2).trace});
+  return out;
+}
+
+void report() {
+  benchx::banner(
+      "E-L31  Lemma 3.1: folding inequality across every fold of every "
+      "algorithm");
+  const auto traces = all_traces();
+  Table t("sum_{i<j} F^i(n,2^j) <= (p/2^j) sum_{i<j} F^i(n,p)",
+          {"algorithm", "supersteps", "messages", "folds checked",
+           "inequality holds"});
+  for (const auto& entry : traces) {
+    bool holds = true;
+    for (unsigned log_p = 1; log_p <= entry.trace.log_v(); ++log_p) {
+      holds = holds && folding_inequality_holds(entry.trace, log_p);
+    }
+    t.row()
+        .add(entry.name)
+        .add(entry.trace.supersteps())
+        .add(entry.trace.total_messages())
+        .add(entry.trace.log_v())
+        .add(holds ? "yes" : "NO");
+  }
+  std::cout << t;
+
+  benchx::banner(
+      "E-W    Definitions 3.2 / 5.2: wiseness alpha and fullness gamma at "
+      "selected folds");
+  Table w("the Section-4 algorithms are (Theta(1), p)-wise; the broadcast "
+          "tree is wise but latency-bound",
+          {"algorithm", "alpha p=4", "alpha p=64", "alpha p=v",
+           "gamma p=v"});
+  for (const auto& entry : traces) {
+    const unsigned log_v = entry.trace.log_v();
+    w.row()
+        .add(entry.name)
+        .add(wiseness_alpha(entry.trace, std::min(2u, log_v)))
+        .add(wiseness_alpha(entry.trace, std::min(6u, log_v)))
+        .add(wiseness_alpha(entry.trace, log_v))
+        .add(fullness_gamma(entry.trace, log_v));
+  }
+  std::cout << w;
+}
+
+void BM_TraceMetrics(benchmark::State& state) {
+  const auto trace =
+      fft_oblivious(benchx::random_signal(4096, 8)).trace;
+  for (auto _ : state) {
+    double acc = 0;
+    for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {
+      acc += wiseness_alpha(trace, log_p);
+      acc += communication_complexity(trace, log_p, 1.0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TraceMetrics);
+
+}  // namespace
+}  // namespace nobl
+
+int main(int argc, char** argv) {
+  nobl::report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

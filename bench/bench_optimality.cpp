@@ -1,0 +1,122 @@
+// E-T34: Theorem 3.4, the optimality theorem — numeric certification.
+//
+// For each algorithm: measure α (Def. 3.2) and β (min LB/H over folds and a
+// σ grid); the theorem then promises αβ/(1+α)-optimality on every admissible
+// D-BSP. We verify the *conclusion* directly: on every topology of the
+// standard suite, D_A <= (1+α)/(αβ)·D_C where C is the network-aware
+// baseline trace pinned to the lower-bound communication volume.
+#include "core/optimality.hpp"
+
+#include "algorithms/baselines.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/sort.hpp"
+#include "bench_common.hpp"
+#include "bsp/topology.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace nobl {
+namespace {
+
+struct Subject {
+  std::string name;
+  std::uint64_t n;
+  Trace trace;
+  LowerBoundFn lower;
+  Trace (*baseline)(std::uint64_t, std::uint64_t);
+};
+
+std::vector<Subject> subjects() {
+  std::vector<Subject> out;
+  out.push_back({"matmul n=4096", 4096,
+                 matmul_oblivious(benchx::random_matrix(64, 1),
+                                  benchx::random_matrix(64, 2))
+                     .trace,
+                 [](std::uint64_t n, std::uint64_t p, double s) {
+                   return lb::matmul(n, p, s);
+                 },
+                 &baseline::matmul});
+  out.push_back({"fft n=4096", 4096,
+                 fft_oblivious(benchx::random_signal(4096, 3)).trace,
+                 [](std::uint64_t n, std::uint64_t p, double s) {
+                   return lb::fft(n, p, s);
+                 },
+                 &baseline::fft});
+  out.push_back({"sort n=1024", 1024,
+                 sort_oblivious(benchx::random_keys(1024, 4)).trace,
+                 [](std::uint64_t n, std::uint64_t p, double s) {
+                   return lb::sort(n, p, s);
+                 },
+                 &baseline::sort});
+  return out;
+}
+
+void report() {
+  benchx::banner(
+      "E-T34  Theorem 3.4: alpha, beta, and the promised D-BSP factor");
+  const auto subs = subjects();
+  Table t("certification at p = 64 (sigma grid {0, 1, sqrt(n/p), n/p})",
+          {"algorithm", "alpha", "gamma", "beta (min LB/H)",
+           "guarantee ab/(1+a)", "rhs factor (1+a)/(ab)"});
+  for (const auto& s : subs) {
+    const auto sigmas = sigma_grid(s.n, 64);
+    const auto report = certify_optimality(s.trace, s.n, 6, s.lower, sigmas);
+    t.row()
+        .add(s.name)
+        .add(report.alpha)
+        .add(report.gamma)
+        .add(report.beta_min)
+        .add(report.guarantee())
+        .add(theorem34_factor(report.alpha, report.beta_min));
+  }
+  std::cout << t;
+
+  benchx::banner(
+      "Conclusion check: D_A <= (1+a)/(ab) * D_C on every suite topology "
+      "(p = 64)");
+  for (const auto& s : subs) {
+    const auto sigmas = sigma_grid(s.n, 64);
+    const auto rep = certify_optimality(s.trace, s.n, 6, s.lower, sigmas);
+    const double factor = theorem34_factor(rep.alpha, rep.beta_min);
+    const Trace base = s.baseline(s.n, 64);
+    Table t2(s.name + ": oblivious vs aware-baseline communication time",
+             {"topology", "D oblivious", "D aware C", "D_A/D_C",
+              "theorem bound", "holds"});
+    for (const auto& params : topology::standard_suite(64)) {
+      const double da = communication_time(s.trace, params);
+      const double dc = communication_time(base, params);
+      const double ratio = dc > 0 ? da / dc : 0.0;
+      t2.row()
+          .add(params.name)
+          .add(da)
+          .add(dc)
+          .add(ratio)
+          .add(factor)
+          .add(ratio <= factor ? "yes" : "NO");
+    }
+    std::cout << t2;
+  }
+}
+
+void BM_Certify(benchmark::State& state) {
+  const auto trace = fft_oblivious(benchx::random_signal(1024, 5)).trace;
+  const auto lower = [](std::uint64_t n, std::uint64_t p, double s) {
+    return lb::fft(n, p, s);
+  };
+  const auto sigmas = sigma_grid(1024, 64);
+  for (auto _ : state) {
+    auto rep = certify_optimality(trace, 1024, 6, lower, sigmas);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_Certify);
+
+}  // namespace
+}  // namespace nobl
+
+int main(int argc, char** argv) {
+  nobl::report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

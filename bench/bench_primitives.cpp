@@ -1,0 +1,116 @@
+// E-PRIM: the communication primitives underlying the Section-4 algorithms
+// and the Section-5 protocol — census and cost sweeps.
+#include "algorithms/primitives.hpp"
+
+#include "bench_common.hpp"
+#include "bsp/cost.hpp"
+#include "bsp/topology.hpp"
+
+namespace nobl {
+namespace {
+
+void report() {
+  benchx::banner("E-PRIM scan / reduce / transpose cost census");
+  Table t("primitive traces on M(v), v = 1024",
+          {"primitive", "supersteps", "messages", "H(p=32, sigma=4)",
+           "D hypercube(32)", "D linear(32)"});
+
+  auto add_row = [&](const std::string& name, const Trace& trace) {
+    t.row()
+        .add(name)
+        .add(trace.supersteps())
+        .add(trace.total_messages())
+        .add(communication_complexity(trace, 5, 4.0))
+        .add(communication_time(trace, topology::hypercube(32)))
+        .add(communication_time(trace, topology::linear_array(32)));
+  };
+
+  constexpr std::uint64_t v = 1024;
+  {
+    Machine<long> m(v);
+    std::vector<long> vals(v, 1);
+    reduce_segments(m, std::span<long>(vals), v,
+                    [](long a, long b) { return a + b; });
+    add_row("tree reduce (whole machine)", m.trace());
+  }
+  {
+    Machine<long> m(v);
+    std::vector<long> vals(v, 1);
+    exclusive_scan_segments(m, std::span<long>(vals), v,
+                            [](long a, long b) { return a + b; }, 0L);
+    add_row("exclusive scan (whole machine)", m.trace());
+  }
+  {
+    Machine<long> m(v);
+    std::vector<long> vals(v, 1);
+    exclusive_scan_segments(m, std::span<long>(vals), 32,
+                            [](long a, long b) { return a + b; }, 0L);
+    add_row("exclusive scan (32-VP segments)", m.trace());
+  }
+  {
+    Machine<int> m(v);
+    std::vector<int> vals(v, 1);
+    transpose(m, std::span<int>(vals), 32, 32);
+    add_row("32x32 transpose", m.trace());
+  }
+  {
+    Machine<int> m(v);
+    std::vector<int> vals(v, 1);
+    cyclic_shift(m, std::span<int>(vals), v / 2);
+    add_row("cyclic shift by v/2", m.trace());
+  }
+  std::cout << t
+            << "\nSegmented scans communicate only inside their segments: "
+               "their label floor rises\nand coarse-fold H collapses — the "
+               "mechanism the optimality theorem leans on.\n";
+
+  benchx::banner("Scan scaling: H(p, sigma = 1) across machine sizes");
+  Table s("exclusive scan over the whole machine",
+          {"v", "p=4", "p=32", "p=v"});
+  for (const std::uint64_t n : {256u, 1024u, 4096u}) {
+    Machine<long> m(n);
+    std::vector<long> vals(n, 1);
+    exclusive_scan_segments(m, std::span<long>(vals), n,
+                            [](long a, long b) { return a + b; }, 0L);
+    s.row()
+        .add(n)
+        .add(communication_complexity(m.trace(), 2, 1.0))
+        .add(communication_complexity(m.trace(), 5, 1.0))
+        .add(communication_complexity(m.trace(), m.log_v(), 1.0));
+  }
+  std::cout << s;
+}
+
+void BM_Scan(benchmark::State& state) {
+  const auto v = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Machine<long> m(v);
+    std::vector<long> vals(v, 1);
+    exclusive_scan_segments(m, std::span<long>(vals), v,
+                            [](long a, long b) { return a + b; }, 0L);
+    benchmark::DoNotOptimize(vals);
+  }
+}
+BENCHMARK(BM_Scan)->Arg(1024)->Arg(16384);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto v = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t side = sqrt_pow2(v);
+  for (auto _ : state) {
+    Machine<int> m(v);
+    std::vector<int> vals(v, 1);
+    transpose(m, std::span<int>(vals), side, side);
+    benchmark::DoNotOptimize(vals);
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace nobl
+
+int main(int argc, char** argv) {
+  nobl::report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,364 @@
+// Network-oblivious matrix multiplication (Section 4.1).
+//
+// The n-MM problem multiplies two √n x √n matrices over a semiring. The
+// algorithm is specified on M(n): one entry of A, B and C per VP, row-major.
+// Recursion (all segments advance in lockstep, which realizes the paper's
+// parallel recursive calls with a single host-side loop over levels):
+//
+//   1. distribute: the segment's VPs split into eight sub-segments S_hkl;
+//      quadrant A_hl is replicated to S_{h,0,l} and S_{h,1,l}, quadrant B_lk
+//      to S_{0,k,l} and S_{1,k,l}, entries spread evenly (each VP's holding
+//      doubles: the Θ(n^{1/3}) memory blow-up of the analysis);
+//   2. recurse: S_hkl computes M_hkl = A_hl · B_lk;
+//   3. combine: the owner of C[i,j] receives M_hk0[i',j'] and M_hk1[i',j']
+//      and adds them.
+//
+// Level-λ supersteps act within segments of n/8^λ VPs and therefore carry
+// label 3λ, with per-VP degree O(2^λ) — matching Theorem 4.2's recurrence
+// H_MM(n,p,σ) = H_MM(n/4, p/8, σ) + O(n/p + σ).
+//
+// Generality: the paper assumes n a power of 2^3 and glosses integrality; we
+// support any power-of-two matrix side m (n = m²). When log n is not a
+// multiple of 3 the recursion bottoms out on segments of 2 or 4 VPs; a
+// gather superstep of degree O(2^λ) hands the remaining subproblem to the
+// segment leader, preserving every bound (see DESIGN.md).
+//
+// Wiseness: as in the paper, each superstep adds 2^λ dummy messages from VP j
+// to VP j+S/2 (S the active segment size) for the first half-segment, making
+// the algorithm (Θ(1), n)-wise without touching its state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "bsp/trace.hpp"
+#include "util/bits.hpp"
+#include "util/matrix.hpp"
+
+namespace nobl {
+
+namespace mm_detail {
+
+template <typename T>
+struct Entry {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  T value{};
+};
+
+enum class Tag : std::uint8_t { A, B, Product };
+
+template <typename T>
+struct Msg {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  Tag tag = Tag::A;
+  T value{};
+};
+
+}  // namespace mm_detail
+
+/// Result of a specification-model n-MM run: the product, the communication
+/// trace, and the peak number of matrix entries resident at any VP (the
+/// memory blow-up audited in §4.1 vs. §4.1.1).
+template <typename T>
+struct MatmulRun {
+  Matrix<T> c;
+  Trace trace;
+  std::size_t peak_vp_entries = 0;
+};
+
+/// Multiply two m x m matrices (m a power of two) with the network-oblivious
+/// recursion on M(m²).
+template <typename T>
+MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
+                              bool wiseness_dummies = true) {
+  using E = mm_detail::Entry<T>;
+  using M = mm_detail::Msg<T>;
+  using mm_detail::Tag;
+
+  const std::uint64_t m = a.rows();
+  if (a.cols() != m || b.rows() != m || b.cols() != m || !is_pow2(m)) {
+    throw std::invalid_argument(
+        "matmul_oblivious: matrices must be square with power-of-two side");
+  }
+  const std::uint64_t n = m * m;  // input size == number of VPs
+  Machine<M> machine(n);
+  const unsigned log_n = machine.log_v();
+  // Deepest level with segments of >= 8 VPs fully split.
+  const unsigned max_level = log_n / 3;
+  const std::uint64_t tail_seg = n >> (3 * max_level);  // 1, 2 or 4
+
+  struct VpState {
+    std::vector<E> a, b, c;
+  };
+  std::vector<VpState> state(n);
+  std::size_t peak_entries = 0;
+  auto audit = [&](const VpState& st) {
+    peak_entries =
+        std::max(peak_entries, st.a.size() + st.b.size() + st.c.size());
+  };
+
+  auto dims_at = [&](unsigned level) { return m >> level; };
+  auto seg_at = [&](unsigned level) { return n >> (3 * level); };
+  auto per_vp_at = [&](unsigned level) {
+    // Entries of one operand per VP at this level: n_level / seg_level.
+    return (dims_at(level) * dims_at(level)) / seg_at(level);
+  };
+
+  auto add_dummies = [&](Vp<M>& vp, std::uint64_t seg, std::uint64_t count) {
+    if (!wiseness_dummies) return;
+    if (seg < 2) return;
+    if (vp.id() < seg / 2) vp.send_dummy(vp.id() + seg / 2, count);
+  };
+
+  // ---- Distribute phases: level λ splits segments of seg(λ) into eight. ----
+  for (unsigned level = 0; level < max_level; ++level) {
+    const std::uint64_t seg = seg_at(level);
+    const std::uint64_t sub = seg / 8;
+    const std::uint64_t dim = dims_at(level);
+    const std::uint64_t half = dim / 2;
+    const std::uint64_t child_per_vp = per_vp_at(level + 1);
+    const unsigned label = 3 * level;
+    machine.superstep(label, [&](Vp<M>& vp) {
+      VpState& st = state[vp.id()];
+      if (level == 0) {
+        // Initial layout: VP i·m + j holds A[i,j] and B[i,j].
+        const auto i = static_cast<std::uint32_t>(vp.id() / m);
+        const auto j = static_cast<std::uint32_t>(vp.id() % m);
+        st.a = {E{i, j, a(i, j)}};
+        st.b = {E{i, j, b(i, j)}};
+      } else {
+        // Ingest the entries sent by the parent distribute phase.
+        st.a.clear();
+        st.b.clear();
+        for (const auto& msg : vp.inbox()) {
+          const E entry{msg.data.i, msg.data.j, msg.data.value};
+          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
+        }
+      }
+      audit(st);
+      const std::uint64_t base = vp.id() & ~(seg - 1);
+      // A[i,j] lives in quadrant (h=i/half, l=j/half) and is needed by
+      // S_{h,k,l} for k = 0,1; B[i,j] in quadrant (l=i/half, k=j/half) is
+      // needed by S_{h,k,l} for h = 0,1. Sub-segment index is h·4 + k·2 + l.
+      for (const E& e : st.a) {
+        const std::uint64_t h = e.i / half;
+        const std::uint64_t l = e.j / half;
+        const auto i2 = static_cast<std::uint32_t>(e.i % half);
+        const auto j2 = static_cast<std::uint32_t>(e.j % half);
+        const std::uint64_t t = std::uint64_t{i2} * half + j2;
+        for (std::uint64_t k = 0; k < 2; ++k) {
+          const std::uint64_t dst =
+              base + (h * 4 + k * 2 + l) * sub + t / child_per_vp;
+          vp.send(dst, M{i2, j2, Tag::A, e.value});
+        }
+      }
+      for (const E& e : st.b) {
+        const std::uint64_t l = e.i / half;
+        const std::uint64_t k = e.j / half;
+        const auto i2 = static_cast<std::uint32_t>(e.i % half);
+        const auto j2 = static_cast<std::uint32_t>(e.j % half);
+        const std::uint64_t t = std::uint64_t{i2} * half + j2;
+        for (std::uint64_t h = 0; h < 2; ++h) {
+          const std::uint64_t dst =
+              base + (h * 4 + k * 2 + l) * sub + t / child_per_vp;
+          vp.send(dst, M{i2, j2, Tag::B, e.value});
+        }
+      }
+      add_dummies(vp, seg, std::uint64_t{1} << level);
+    });
+  }
+
+  // ---- Base case. ----
+  // Segments now have tail_seg VPs (1, 2 or 4). If > 1, gather the whole
+  // subproblem at the segment leader first (degree O(2^λ), same order as the
+  // level's distribute).
+  const std::uint64_t base_dim = dims_at(max_level);
+  if (tail_seg > 1) {
+    const unsigned label = 3 * max_level;  // < log n exactly when tail_seg > 1
+    machine.superstep(label, [&](Vp<M>& vp) {
+      VpState& st = state[vp.id()];
+      if (max_level > 0) {
+        st.a.clear();
+        st.b.clear();
+        for (const auto& msg : vp.inbox()) {
+          const E entry{msg.data.i, msg.data.j, msg.data.value};
+          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
+        }
+      } else {
+        const auto i = static_cast<std::uint32_t>(vp.id() / m);
+        const auto j = static_cast<std::uint32_t>(vp.id() % m);
+        st.a = {E{i, j, a(i, j)}};
+        st.b = {E{i, j, b(i, j)}};
+      }
+      audit(st);
+      const std::uint64_t leader = vp.id() & ~(tail_seg - 1);
+      if (vp.id() != leader) {
+        for (const E& e : st.a) vp.send(leader, M{e.i, e.j, Tag::A, e.value});
+        for (const E& e : st.b) vp.send(leader, M{e.i, e.j, Tag::B, e.value});
+        st.a.clear();
+        st.b.clear();
+      }
+      add_dummies(vp, tail_seg, std::uint64_t{1} << max_level);
+    });
+  }
+
+  // Local multiply at the leader, then start the combine cascade. The
+  // combine superstep for level λ sends level-(λ+1) products to the owners
+  // of the level-λ product, with label 3λ.
+  auto product_owner = [&](unsigned level, std::uint64_t base, std::uint64_t i,
+                           std::uint64_t j) {
+    const std::uint64_t per_vp = per_vp_at(level);
+    return base + (i * dims_at(level) + j) / per_vp;
+  };
+
+  auto local_multiply = [&](VpState& st) {
+    // Dense local product of the base_dim x base_dim subproblem.
+    Matrix<T> la(base_dim, base_dim), lb(base_dim, base_dim);
+    for (const E& e : st.a) la(e.i, e.j) = e.value;
+    for (const E& e : st.b) lb(e.i, e.j) = e.value;
+    const Matrix<T> lc = multiply_naive(la, lb);
+    st.c.clear();
+    st.c.reserve(base_dim * base_dim);
+    for (std::uint32_t i = 0; i < base_dim; ++i) {
+      for (std::uint32_t j = 0; j < base_dim; ++j) {
+        st.c.push_back(E{i, j, lc(i, j)});
+      }
+    }
+    st.a.clear();
+    st.b.clear();
+  };
+
+  // Ingest the child combine traffic at the owner of a level-(λ+1) product:
+  // entries arrive addressed in the child's product coordinates, exactly two
+  // partial products per coordinate (l = 0 and l = 1), summed on arrival.
+  auto ingest_products = [&](VpState& st, Vp<M>& vp, unsigned child_level) {
+    const std::uint64_t child_dim = dims_at(child_level);
+    const std::uint64_t child_per_vp = per_vp_at(child_level);
+    const std::uint64_t child_seg = seg_at(child_level);
+    const std::uint64_t offset = vp.id() & (child_seg - 1);
+    const std::uint64_t lo = offset * child_per_vp;
+    st.c.assign(child_per_vp, E{});
+    std::vector<bool> seen(child_per_vp, false);
+    for (const auto& msg : vp.inbox()) {
+      if (msg.data.tag != Tag::Product) continue;
+      const std::uint64_t lin =
+          std::uint64_t{msg.data.i} * child_dim + msg.data.j;
+      const std::uint64_t idx = lin - lo;
+      if (seen[idx]) {
+        st.c[idx].value = T(st.c[idx].value + msg.data.value);
+      } else {
+        st.c[idx] = E{msg.data.i, msg.data.j, msg.data.value};
+        seen[idx] = true;
+      }
+    }
+  };
+
+  // Combine cascade: one superstep per level λ = max_level-1 .. 0, plus a
+  // final label-0 ingest superstep. In the first combine superstep the base
+  // subproblems are solved locally before sending.
+  if (max_level == 0) {
+    // Degenerate machine (m <= 2 with tail_seg <= 4): leader solves the
+    // whole product and redistributes it to the owners.
+    machine.superstep(0, [&](Vp<M>& vp) {
+      VpState& st = state[vp.id()];
+      if (tail_seg == 1) {
+        const auto i = static_cast<std::uint32_t>(vp.id() / m);
+        const auto j = static_cast<std::uint32_t>(vp.id() % m);
+        st.a = {E{i, j, a(i, j)}};
+        st.b = {E{i, j, b(i, j)}};
+      } else if (vp.id() == 0) {
+        for (const auto& msg : vp.inbox()) {
+          const E entry{msg.data.i, msg.data.j, msg.data.value};
+          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
+        }
+      }
+      if (vp.id() == 0) {
+        audit(st);
+        local_multiply(st);
+        for (const E& e : st.c) {
+          vp.send(product_owner(0, 0, e.i, e.j), M{e.i, e.j, Tag::Product,
+                                                   e.value});
+        }
+        st.c.clear();
+      }
+    });
+  } else {
+    for (unsigned level = max_level; level-- > 0;) {
+      const std::uint64_t seg = seg_at(level);
+      const std::uint64_t sub = seg / 8;
+      const std::uint64_t dim = dims_at(level);
+      const std::uint64_t half = dim / 2;
+      const unsigned label = 3 * level;
+      const bool first_combine = (level + 1 == max_level);
+      machine.superstep(label, [&](Vp<M>& vp) {
+        VpState& st = state[vp.id()];
+        if (first_combine) {
+          // Ingest pending distribute/gather traffic and solve locally.
+          if (tail_seg == 1) {
+            st.a.clear();
+            st.b.clear();
+            for (const auto& msg : vp.inbox()) {
+              const E entry{msg.data.i, msg.data.j, msg.data.value};
+              (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
+            }
+            audit(st);
+            local_multiply(st);
+          } else {
+            const std::uint64_t leader = vp.id() & ~(tail_seg - 1);
+            if (vp.id() == leader) {
+              for (const auto& msg : vp.inbox()) {
+                const E entry{msg.data.i, msg.data.j, msg.data.value};
+                (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
+              }
+              audit(st);
+              local_multiply(st);
+            } else {
+              st.c.clear();
+            }
+          }
+        } else {
+          ingest_products(st, vp, level + 1);
+        }
+        audit(st);
+        // Send every held product entry to the owner of the parent entry.
+        const std::uint64_t base = vp.id() & ~(seg - 1);
+        const std::uint64_t sub_index = (vp.id() - base) / sub;
+        const std::uint64_t h = sub_index >> 2;
+        const std::uint64_t k = (sub_index >> 1) & 1;
+        for (const E& e : st.c) {
+          const std::uint64_t pi = e.i + h * half;
+          const std::uint64_t pj = e.j + k * half;
+          vp.send(product_owner(level, base, pi, pj),
+                  M{static_cast<std::uint32_t>(pi),
+                    static_cast<std::uint32_t>(pj), Tag::Product, e.value});
+        }
+        st.c.clear();
+        add_dummies(vp, seg, std::uint64_t{1} << level);
+      });
+    }
+  }
+
+  // Final ingest: owners of C[i,j] sum the (at most two) partial products.
+  Matrix<T> c(m, m);
+  machine.superstep(0, [&](Vp<M>& vp) {
+    T sum{};
+    bool any = false;
+    std::uint32_t ci = 0, cj = 0;
+    for (const auto& msg : vp.inbox()) {
+      if (msg.data.tag != Tag::Product) continue;
+      sum = any ? T(sum + msg.data.value) : msg.data.value;
+      ci = msg.data.i;
+      cj = msg.data.j;
+      any = true;
+    }
+    if (any) c(ci, cj) = sum;
+  });
+
+  return MatmulRun<T>{std::move(c), machine.trace(), peak_entries};
+}
+
+}  // namespace nobl

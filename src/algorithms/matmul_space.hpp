@@ -1,0 +1,237 @@
+// Space-efficient network-oblivious matrix multiplication (Section 4.1.1).
+//
+// Same problem as algorithms/matmul.hpp, but with O(1) memory blow-up per VP:
+// the VPs are divided into FOUR segments which solve the eight (n/4)-MM
+// subproblems in TWO sequential rounds —
+//
+//   round 1:  A00·B00,  A01·B11,  A11·B10,  A10·B01
+//   round 2:  A01·B10,  A00·B01,  A10·B00,  A11·B11
+//
+// (one product per segment per round; every A- and B-quadrant is used exactly
+// once per round, so nothing is ever replicated). Each VP holds exactly one
+// entry of A', one of B', and one accumulator per recursion level on its
+// path. The recursion executes Θ(2^i) 2i-supersteps of degree Θ(1) at level
+// i, giving H_MM-space(n,p,σ) = O(n/√p + σ·√p) — the §4.1.1 bound, which is
+// Θ(1)-optimal w.r.t. the class C' of constant-memory-blow-up algorithms
+// (Irony et al. 2004).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "bsp/trace.hpp"
+#include "util/bits.hpp"
+#include "util/matrix.hpp"
+
+namespace nobl {
+
+namespace mms_detail {
+
+enum class Tag : std::uint8_t { A, B, Product };
+
+template <typename T>
+struct Msg {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  std::uint8_t level = 0;  ///< recursion level this entry/contribution targets
+  Tag tag = Tag::A;
+  T value{};
+};
+
+// (h, l, k) triples per sub-segment and round: segment q computes
+// A_{h,l} · B_{l,k} in that round.
+struct Triple {
+  unsigned h, l, k;
+};
+inline constexpr std::array<std::array<Triple, 4>, 2> kRounds{{
+    {{{0, 0, 0}, {0, 1, 1}, {1, 1, 0}, {1, 0, 1}}},
+    {{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}, {1, 1, 1}}},
+}};
+
+}  // namespace mms_detail
+
+template <typename T>
+struct MatmulSpaceRun {
+  Matrix<T> c;
+  Trace trace;
+  std::size_t peak_vp_entries = 0;
+};
+
+/// Multiply two m x m matrices (m a power of two) with the space-efficient
+/// two-round recursion on M(m²).
+template <typename T>
+MatmulSpaceRun<T> matmul_space_oblivious(const Matrix<T>& a,
+                                         const Matrix<T>& b,
+                                         bool wiseness_dummies = true) {
+  using M = mms_detail::Msg<T>;
+  using mms_detail::kRounds;
+  using mms_detail::Tag;
+
+  const std::uint64_t m = a.rows();
+  if (a.cols() != m || b.rows() != m || b.cols() != m || !is_pow2(m)) {
+    throw std::invalid_argument(
+        "matmul_space_oblivious: matrices must be square, power-of-two side");
+  }
+  const std::uint64_t n = m * m;
+  Machine<M> machine(n);
+  const unsigned levels = log2_exact(n) / 2;  // segment size n/4^i
+
+  struct Held {
+    std::uint32_t i = 0, j = 0;
+    T value{};
+  };
+  struct Acc {
+    bool set = false;
+    std::uint32_t i = 0, j = 0;
+    T value{};
+  };
+  struct VpState {
+    // Per-level stack of held entries and accumulators: the sub-recursion of
+    // one round must not clobber the entries the parent still owes to its
+    // second round — the O(log n)-entry stack of the paper's analysis
+    // (constant storage per stack entry).
+    std::vector<Held> a, b;
+    std::vector<Acc> acc;
+  };
+  std::vector<VpState> state(n);
+  for (auto& st : state) {
+    st.a.resize(levels + 1);
+    st.b.resize(levels + 1);
+    st.acc.resize(levels + 1);
+  }
+  const std::size_t peak = 3 * (levels + 1);
+
+  auto drain = [&](Vp<M>& vp, VpState& st) {
+    for (const auto& msg : vp.inbox()) {
+      switch (msg.data.tag) {
+        case Tag::A:
+          st.a[msg.data.level] = Held{msg.data.i, msg.data.j, msg.data.value};
+          break;
+        case Tag::B:
+          st.b[msg.data.level] = Held{msg.data.i, msg.data.j, msg.data.value};
+          break;
+        case Tag::Product: {
+          Acc& acc = st.acc[msg.data.level];
+          if (acc.set) {
+            acc.value = T(acc.value + msg.data.value);
+          } else {
+            acc = Acc{true, msg.data.i, msg.data.j, msg.data.value};
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  auto add_dummies = [&](Vp<M>& vp, std::uint64_t seg) {
+    if (!wiseness_dummies || seg < 2) return;
+    if (vp.id() < seg / 2) vp.send_dummy(vp.id() + seg / 2, 1);
+  };
+
+  // Recursive solver over ALL segments of the current level simultaneously.
+  // Precondition: the A'/B' entries for this level are in flight (delivered
+  // at the first superstep issued here) — or, at level 0, loaded locally.
+  auto solve = [&](auto&& self, unsigned level) -> void {
+    const std::uint64_t seg = n >> (2 * level);
+    const std::uint64_t dim = m >> level;
+    const std::uint64_t sub = seg / 4;
+    const std::uint64_t half = dim / 2;
+    const unsigned label = 2 * level;
+
+    for (unsigned round = 0; round < 2; ++round) {
+      // Distribute: route A'/B' entries to the sub-segment that multiplies
+      // their quadrant in this round.
+      machine.superstep(label, [&](Vp<M>& vp) {
+        VpState& st = state[vp.id()];
+        drain(vp, st);
+        if (level == 0 && round == 0) {
+          const auto i = static_cast<std::uint32_t>(vp.id() / m);
+          const auto j = static_cast<std::uint32_t>(vp.id() % m);
+          st.a[0] = Held{i, j, a(i, j)};
+          st.b[0] = Held{i, j, b(i, j)};
+        }
+        const std::uint64_t base = vp.id() & ~(seg - 1);
+        const auto& triples = kRounds[round];
+        const auto child = static_cast<std::uint8_t>(level + 1);
+        // A entry (i, j) lives in quadrant (h = i/half, l = j/half).
+        {
+          const Held& ha = st.a[level];
+          const unsigned h = static_cast<unsigned>(ha.i / half);
+          const unsigned l = static_cast<unsigned>(ha.j / half);
+          for (std::uint64_t q = 0; q < 4; ++q) {
+            if (triples[q].h == h && triples[q].l == l) {
+              const auto i2 = static_cast<std::uint32_t>(ha.i % half);
+              const auto j2 = static_cast<std::uint32_t>(ha.j % half);
+              vp.send(base + q * sub + std::uint64_t{i2} * half + j2,
+                      M{i2, j2, child, Tag::A, ha.value});
+            }
+          }
+        }
+        // B entry (i, j) lives in quadrant (l = i/half, k = j/half).
+        {
+          const Held& hb = st.b[level];
+          const unsigned l = static_cast<unsigned>(hb.i / half);
+          const unsigned k = static_cast<unsigned>(hb.j / half);
+          for (std::uint64_t q = 0; q < 4; ++q) {
+            if (triples[q].l == l && triples[q].k == k) {
+              const auto i2 = static_cast<std::uint32_t>(hb.i % half);
+              const auto j2 = static_cast<std::uint32_t>(hb.j % half);
+              vp.send(base + q * sub + std::uint64_t{i2} * half + j2,
+                      M{i2, j2, child, Tag::B, hb.value});
+            }
+          }
+        }
+        add_dummies(vp, seg);
+      });
+
+      if (sub > 1) self(self, level + 1);
+
+      // Collect: the sub-product P_q (complete in acc[level+1] after this
+      // superstep's drain) is forwarded to the owner of the parent C entry.
+      machine.superstep(label, [&](Vp<M>& vp) {
+        VpState& st = state[vp.id()];
+        drain(vp, st);
+        Acc& sub_acc = st.acc[level + 1];
+        if (sub == 1) {
+          // Base multiplication: 1x1 product of the delivered entries.
+          sub_acc =
+              Acc{true, 0, 0, T(st.a[level + 1].value * st.b[level + 1].value)};
+        }
+        if (sub_acc.set) {
+          const std::uint64_t base = vp.id() & ~(seg - 1);
+          const std::uint64_t q = (vp.id() - base) / sub;
+          const auto& t = kRounds[round][q];
+          const std::uint64_t pi = sub_acc.i + t.h * half;
+          const std::uint64_t pj = sub_acc.j + t.k * half;
+          vp.send(base + pi * dim + pj,
+                  M{static_cast<std::uint32_t>(pi),
+                    static_cast<std::uint32_t>(pj),
+                    static_cast<std::uint8_t>(level), Tag::Product,
+                    sub_acc.value});
+          sub_acc = Acc{};
+        }
+        add_dummies(vp, seg);
+      });
+    }
+  };
+
+  Matrix<T> c(m, m);
+  if (n == 1) {
+    machine.superstep(0, [&](Vp<M>&) { c(0, 0) = T(a(0, 0) * b(0, 0)); });
+  } else {
+    solve(solve, 0);
+    // Final drain: the level-0 round-2 contributions complete acc[0].
+    machine.superstep(0, [&](Vp<M>& vp) {
+      VpState& st = state[vp.id()];
+      drain(vp, st);
+      if (st.acc[0].set) c(st.acc[0].i, st.acc[0].j) = st.acc[0].value;
+    });
+  }
+
+  return MatmulSpaceRun<T>{std::move(c), machine.trace(), peak};
+}
+
+}  // namespace nobl

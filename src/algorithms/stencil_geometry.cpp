@@ -1,0 +1,195 @@
+#include "algorithms/stencil_geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nobl {
+
+DiamondSchedule::DiamondSchedule(std::uint64_t n, std::uint64_t k_override)
+    : n_(n) {
+  if (!is_pow2(n) || n < 2) {
+    throw std::invalid_argument(
+        "DiamondSchedule: n must be a power of two >= 2");
+  }
+  log_n_ = log2_exact(n);
+  if (k_override != 0) {
+    if (!is_pow2(k_override) || k_override < 2) {
+      throw std::invalid_argument("DiamondSchedule: k must be a power of two");
+    }
+    k_ = k_override;
+  } else {
+    // k = 2^⌈√log n⌉ (Section 4.4.1).
+    const double root = std::sqrt(paper_log2(static_cast<double>(n)));
+    k_ = std::uint64_t{1} << static_cast<unsigned>(std::ceil(root));
+  }
+  // Mixed radices: k at every level, with a smaller final level when log k
+  // does not divide log n ("simple yet tedious modifications").
+  std::uint64_t remaining = n;
+  unsigned label = 0;
+  while (remaining > 1) {
+    const std::uint64_t radix = std::min(k_, remaining);
+    labels_.push_back(label);
+    label += log2_exact(radix);
+    radices_.push_back(radix);
+    leaf_steps_ *= 2 * radix - 1;
+    remaining /= radix;
+  }
+  below_.resize(radices_.size());
+  std::uint64_t below = 1;
+  for (std::size_t i = radices_.size(); i-- > 0;) {
+    below_[i] = below;
+    below *= radices_[i];
+  }
+  // Superstep total: Σ_{i<τ} Π_{j<=i}(2k_j−1) input steps + leaf steps.
+  total_steps_ = leaf_steps_;
+  std::uint64_t prefix_product = 1;
+  for (std::size_t i = 0; i + 1 < radices_.size(); ++i) {
+    prefix_product *= 2 * radices_[i] - 1;
+    total_steps_ += prefix_product;
+  }
+}
+
+unsigned DiamondSchedule::level_label(unsigned level) const {
+  if (level == 0 || level > depth()) {
+    throw std::out_of_range("DiamondSchedule: level out of range");
+  }
+  return labels_[level - 1];
+}
+
+void DiamondSchedule::for_each_step(
+    const std::function<void(const Step&)>& visit) const {
+  Step step;
+  step.prefix.reserve(depth());
+  auto recurse = [&](auto&& self, unsigned level) -> void {
+    const std::uint64_t spans = 2 * radices_[level - 1] - 1;
+    for (std::uint64_t ph = 0; ph < spans; ++ph) {
+      step.prefix.push_back(ph);
+      step.level = level;
+      visit(step);  // level-i input superstep (or leaf step at level τ)
+      if (level < depth()) self(self, level + 1);
+      step.prefix.pop_back();
+    }
+  };
+  recurse(recurse, 1);
+}
+
+std::vector<std::uint64_t> DiamondSchedule::leaf_digits(
+    std::uint64_t coord) const {
+  std::vector<std::uint64_t> digits(radices_.size());
+  for (std::size_t i = radices_.size(); i-- > 0;) {
+    digits[i] = coord % radices_[i];
+    coord /= radices_[i];
+  }
+  return digits;
+}
+
+unsigned DiamondSchedule::pair_class(std::uint64_t beta) const {
+  if (beta + 1 >= n_) {
+    throw std::out_of_range("DiamondSchedule: pair_class at the last band");
+  }
+  // The borrow of β -> β+1 stops at the deepest level whose digit is not
+  // k_i − 1 (counting from the finest level upward).
+  unsigned level = depth();
+  std::uint64_t coord = beta;
+  for (std::size_t i = radices_.size(); i-- > 0;) {
+    if (coord % radices_[i] != radices_[i] - 1) break;
+    coord /= radices_[i];
+    --level;
+  }
+  return level;
+}
+
+DiamondSchedule::ActiveSet DiamondSchedule::active_leaves(
+    const std::vector<std::uint64_t>& digits) const {
+  if (digits.size() != radices_.size()) {
+    throw std::invalid_argument("DiamondSchedule: digit vector size mismatch");
+  }
+  ActiveSet out;
+  // β digit choices d_i in [max(0, ph_i − (k_i − 1)), min(k_i − 1, ph_i)];
+  // the matching α digit is ph_i − d_i. Ascending recursion yields sorted β.
+  auto recurse = [&](auto&& self, std::size_t level, std::uint64_t beta,
+                     std::uint64_t alpha) -> void {
+    if (level == radices_.size()) {
+      out.beta.push_back(beta);
+      out.alpha.push_back(alpha);
+      return;
+    }
+    const std::uint64_t k = radices_[level];
+    const std::uint64_t ph = digits[level];
+    const std::uint64_t lo = ph >= k - 1 ? ph - (k - 1) : 0;
+    const std::uint64_t hi = std::min(k - 1, ph);
+    for (std::uint64_t d = lo; d <= hi; ++d) {
+      self(self, level + 1, beta * k + d, alpha * k + (ph - d));
+    }
+  };
+  recurse(recurse, 0, 0, 0);
+  return out;
+}
+
+std::vector<DiamondSchedule::BoundaryTransfer>
+DiamondSchedule::boundary_transfers(const Step& step) const {
+  if (step.level >= depth() || step.prefix.size() != step.level) {
+    throw std::invalid_argument(
+        "DiamondSchedule: boundary_transfers wants an input superstep");
+  }
+  std::vector<BoundaryTransfer> out;
+  const unsigned i = step.level;
+  // Consumers β' have constrained digits at levels <= i and zeros below
+  // (the carry-depth-i condition), and must not be the leftmost band of
+  // their level-i stripe position (d'_i >= 1 so that β = β'−1 exists inside
+  // the same level-(i−1) tile). Producers' α digits at levels <= i are
+  // ph_j − d'_j; below level i, all α are served (the whole boundary).
+  auto recurse = [&](auto&& self, std::size_t level, std::uint64_t beta_hi,
+                     std::uint64_t alpha_hi) -> void {
+    if (level == i) {
+      if (beta_hi == 0) return;  // no left neighbor
+      // Class must be exactly i: a zero level-i digit means the pair's
+      // boundary is coarser and ships at a shallower input superstep.
+      if (beta_hi % radices_[i - 1] == 0) return;
+      const std::uint64_t below = below_[i - 1];
+      const std::uint64_t beta_consumer = beta_hi * below;
+      if (beta_consumer >= n_) return;
+      BoundaryTransfer t;
+      t.beta = beta_consumer - 1;
+      t.alpha_lo = alpha_hi * below;
+      t.alpha_hi = t.alpha_lo + below;
+      out.push_back(t);
+      return;
+    }
+    const std::uint64_t k = radices_[level];
+    const std::uint64_t ph = step.prefix[level];
+    const std::uint64_t lo = ph >= k - 1 ? ph - (k - 1) : 0;
+    const std::uint64_t hi = std::min(k - 1, ph);
+    for (std::uint64_t d = lo; d <= hi; ++d) {
+      self(self, level + 1, beta_hi * k + d, alpha_hi * k + (ph - d));
+    }
+  };
+  recurse(recurse, 0, 0, 0);
+  return out;
+}
+
+bool DiamondSchedule::node_valid(std::int64_t u, std::int64_t w) const {
+  const auto side = static_cast<std::int64_t>(n_);
+  if (u < 0 || w < 0 || u > 2 * side - 2 || w > 2 * side - 2) return false;
+  if (((u + w) & 1) == 0) return false;  // cells with u+w odd are the nodes
+  const std::int64_t x = node_x(u, w);
+  const std::int64_t t = node_t(u, w);
+  return x >= 0 && x < side && t >= 0 && t < side;
+}
+
+bool DiamondSchedule::sends_right(std::uint64_t alpha,
+                                  std::uint64_t beta) const {
+  if (beta + 1 >= n_) return false;
+  const auto a = static_cast<std::int64_t>(alpha);
+  const auto b = static_cast<std::int64_t>(beta);
+  // Leaf nodes N1 = (2α, 2β+1), N2 = (2α+1, 2β); consumers in leaf
+  // (α, β+1): (2α+1, 2β+2) [needs N1 and N2] and (2α, 2β+3) [needs N1].
+  const bool n1 = node_valid(2 * a, 2 * b + 1);
+  const bool n2 = node_valid(2 * a + 1, 2 * b);
+  const bool c1 = node_valid(2 * a + 1, 2 * b + 2);
+  const bool c2 = node_valid(2 * a, 2 * b + 3);
+  return (n1 && (c1 || c2)) || (n2 && c1);
+}
+
+}  // namespace nobl

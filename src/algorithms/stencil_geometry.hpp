@@ -1,0 +1,138 @@
+// Geometry of the recursive diamond decomposition (Section 4.4.1, Figure 1).
+//
+// Coordinate system. The (n,1)-stencil DAG is the n x n space-time grid:
+// node (x,t) depends on (x−1,t−1), (x,t−1), (x+1,t−1). In the rotated
+// coordinates u = x + t, w = t − x + (n−1) the grid becomes the *center
+// diamond* of the rotated square [0, 2n−1)², nodes are the cells with u+w
+// odd, and the dependencies become monotone: (u,w) ← (u−2,w), (u−1,w−1),
+// (u,w−2). The paper's diamonds are axis-aligned squares here, its stripes
+// of concurrently evaluable diamonds are tile anti-diagonals, and its five
+// full/truncated diamonds covering the square are the five regions the
+// hierarchical wavefront sweeps through.
+//
+// Hierarchical schedule. With k = 2^⌈√log n⌉ and mixed radices k_1, k_2, ...
+// (each min(k, remaining), product n), level-i tiles split into k_i x k_i
+// children evaluated in 2k_i − 1 wavefront phases — the paper's "2k−1
+// stripes of up to k diamonds". The superstep sequence is hierarchical,
+// exactly as in §4.4.1:
+//
+//   * every level-i phase (i < τ) opens with an INPUT superstep of label
+//     Σ_{j<i} log k_j = (i−1)·log k, which carries the boundary values that
+//     cross level-i tile boundaries into the diamonds of the new stripe;
+//   * every full phase vector (ph_1, ..., ph_τ) is one LEAF superstep of
+//     label (τ−1)·log k, in which each active leaf tile (side 2, at most two
+//     DAG nodes) is evaluated and intra-stripe (class-τ) boundary values are
+//     forwarded.
+//
+// This reproduces the paper's census: Π_{j<=i} (2k_j − 1) supersteps of
+// label (i−1)·log k for every level i.
+//
+// Ownership: VP β owns w-band w ∈ [2β, 2β+2); leaf (α, β) is active in the
+// unique leaf step with digit_i(α) + digit_i(β) = ph_i for all i. All
+// boundary traffic flows VP β → β+1; the class of a pair (β, β+1) — the
+// level at which the schedule ships it — is the highest level whose tile
+// boundary it crosses (the mixed-radix carry depth of β+1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nobl {
+
+class DiamondSchedule {
+ public:
+  /// Build the schedule for grid side n (power of two >= 2). k defaults to
+  /// the paper's 2^⌈√log n⌉; tests may override it (ablation hook).
+  explicit DiamondSchedule(std::uint64_t n, std::uint64_t k_override = 0);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+  [[nodiscard]] unsigned log_n() const noexcept { return log_n_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& radices() const noexcept {
+    return radices_;
+  }
+  /// τ: the recursion depth.
+  [[nodiscard]] unsigned depth() const noexcept {
+    return static_cast<unsigned>(radices_.size());
+  }
+  /// Superstep label of a level-i step (1-based level): Σ_{j<i} log2 k_j.
+  [[nodiscard]] unsigned level_label(unsigned level) const;
+  /// Number of leaf supersteps, Π (2k_i − 1).
+  [[nodiscard]] std::uint64_t leaf_steps() const noexcept {
+    return leaf_steps_;
+  }
+  /// Total supersteps including the per-level input supersteps.
+  [[nodiscard]] std::uint64_t total_steps() const noexcept {
+    return total_steps_;
+  }
+
+  /// One superstep of the hierarchical schedule.
+  struct Step {
+    unsigned level = 1;  ///< 1-based; label = level_label(level)
+    /// Phase prefix ph_1..ph_level (full vector iff level == depth()).
+    std::vector<std::uint64_t> prefix;
+    [[nodiscard]] bool is_leaf(const DiamondSchedule& s) const {
+      return level == s.depth();
+    }
+  };
+
+  /// Visit every superstep in schedule order.
+  void for_each_step(const std::function<void(const Step&)>& visit) const;
+
+  /// Leaves active in a leaf step: ascending w-bands β with paired u-bands α.
+  struct ActiveSet {
+    std::vector<std::uint64_t> beta;
+    std::vector<std::uint64_t> alpha;
+  };
+  [[nodiscard]] ActiveSet active_leaves(
+      const std::vector<std::uint64_t>& digits) const;
+
+  /// Class-`level` boundary transfers carried by a level-i input superstep
+  /// (i < depth): producer band β = consumer − 1, and the α range
+  /// [alpha_lo, alpha_hi) of producer leaves whose values ship now.
+  struct BoundaryTransfer {
+    std::uint64_t beta = 0;  ///< producer VP; consumer is beta + 1
+    std::uint64_t alpha_lo = 0;
+    std::uint64_t alpha_hi = 0;
+  };
+  [[nodiscard]] std::vector<BoundaryTransfer> boundary_transfers(
+      const Step& step) const;
+
+  /// Mixed-radix digits of a leaf coordinate (most significant first).
+  [[nodiscard]] std::vector<std::uint64_t> leaf_digits(
+      std::uint64_t coord) const;
+
+  /// Carry depth of β -> β+1: the 1-based level at which the increment's
+  /// borrow stops; equals the class of the pair. depth()+... requires
+  /// β + 1 < n.
+  [[nodiscard]] unsigned pair_class(std::uint64_t beta) const;
+
+  /// True iff rotated cell (u, w) is a DAG node of the n x n grid.
+  [[nodiscard]] bool node_valid(std::int64_t u, std::int64_t w) const;
+
+  [[nodiscard]] std::int64_t node_x(std::int64_t u, std::int64_t w) const {
+    return (u - w + static_cast<std::int64_t>(n_) - 1) / 2;
+  }
+  [[nodiscard]] std::int64_t node_t(std::int64_t u, std::int64_t w) const {
+    return (u + w - static_cast<std::int64_t>(n_) + 1) / 2;
+  }
+
+  /// True iff leaf (α, β) must forward values to VP β+1 (some node of the
+  /// leaf has a valid consumer in leaf (α, β+1)).
+  [[nodiscard]] bool sends_right(std::uint64_t alpha, std::uint64_t beta) const;
+
+ private:
+  std::uint64_t n_;
+  unsigned log_n_;
+  std::uint64_t k_;
+  std::vector<std::uint64_t> radices_;
+  std::vector<unsigned> labels_;       ///< labels_[i] = label of level i+1
+  std::vector<std::uint64_t> below_;   ///< below_[i] = Π_{j>i+1} k_j
+  std::uint64_t leaf_steps_ = 1;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace nobl

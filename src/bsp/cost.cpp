@@ -1,0 +1,73 @@
+#include "bsp/cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nobl {
+
+bool DbspParams::monotone() const {
+  for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+    if (g[i] < g[i + 1]) return false;
+    if (g[i] <= 0 || g[i + 1] <= 0) return false;
+    if (ell[i] / g[i] < ell[i + 1] / g[i + 1]) return false;
+  }
+  return !g.empty() && g.back() > 0;
+}
+
+double DbspParams::max_ell_over_g() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    best = std::max(best, ell[i] / g[i]);
+  }
+  return best;
+}
+
+double communication_complexity(const Trace& trace, unsigned log_p,
+                                double sigma) {
+  if (log_p > trace.log_v()) {
+    throw std::out_of_range("communication_complexity: fold too large");
+  }
+  double total = 0.0;
+  for (const auto& s : trace.steps()) {
+    if (s.label < log_p) {
+      total += static_cast<double>(s.degree[log_p]) + sigma;
+    }
+  }
+  return total;
+}
+
+double communication_time(const Trace& trace, const DbspParams& params) {
+  const unsigned log_p = params.log_p();
+  if (log_p > trace.log_v()) {
+    throw std::out_of_range("communication_time: fold too large");
+  }
+  if (params.ell.size() != params.g.size()) {
+    throw std::invalid_argument("communication_time: g/ell size mismatch");
+  }
+  double total = 0.0;
+  for (const auto& s : trace.steps()) {
+    if (s.label < log_p) {
+      total += static_cast<double>(s.degree[log_p]) * params.g[s.label] +
+               params.ell[s.label];
+    }
+  }
+  return total;
+}
+
+std::vector<double> communication_time_by_level(const Trace& trace,
+                                                const DbspParams& params) {
+  const unsigned log_p = params.log_p();
+  if (log_p > trace.log_v()) {
+    throw std::out_of_range("communication_time_by_level: fold too large");
+  }
+  std::vector<double> out(log_p, 0.0);
+  for (const auto& s : trace.steps()) {
+    if (s.label < log_p) {
+      out[s.label] += static_cast<double>(s.degree[log_p]) * params.g[s.label] +
+                      params.ell[s.label];
+    }
+  }
+  return out;
+}
+
+}  // namespace nobl

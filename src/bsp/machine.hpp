@@ -1,0 +1,285 @@
+// The specification model M(v): a deterministic superstep simulator.
+//
+// Section 2 of the paper defines M(v) as v processing elements with the RAM
+// instruction set plus sync(i) / send(m, q) / receive(). We adopt the
+// host-driven equivalent formulation the paper itself uses for analysis: the
+// execution is a sequence of labeled supersteps, and in an i-superstep each
+// processing element may only message peers sharing its i most significant
+// index bits. The simulator
+//
+//   * runs the superstep body once per virtual processor (in index order, so
+//     executions are deterministic),
+//   * routes real message payloads into the recipients' next-superstep
+//     inboxes (delivery order = sender index, then send order),
+//   * enforces the cluster-containment rule (ClusterViolation on breach),
+//   * records the exact degree of the superstep at every folding 2^j
+//     (see bsp/trace.hpp), including "dummy" messages — the paper's device
+//     for making algorithms (Θ(1), p)-wise without touching their state.
+//
+// Because the superstep sequence is issued by the host, every algorithm
+// written against this API is *static* in the paper's sense: the number,
+// order and labels of supersteps depend only on the input size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bsp/trace.hpp"
+#include "util/bits.hpp"
+
+namespace nobl {
+
+/// Thrown when an i-superstep sends a message outside the sender's i-cluster.
+class ClusterViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// A delivered message: sender index plus payload.
+template <typename Payload>
+struct Message {
+  std::uint64_t src = 0;
+  Payload data{};
+};
+
+template <typename Payload>
+class Machine;
+
+/// Per-VP view handed to the superstep body: identity, inbox, send primitives.
+template <typename Payload>
+class Vp {
+ public:
+  using MessageT = Message<Payload>;
+
+  /// This virtual processor's index r, 0 <= r < v.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  /// Machine size v.
+  [[nodiscard]] std::uint64_t v() const noexcept { return machine_->v(); }
+  [[nodiscard]] unsigned log_v() const noexcept { return machine_->log_v(); }
+
+  /// Messages delivered at the sync that opened this superstep (i.e. all
+  /// messages sent to this VP during the previous superstep).
+  [[nodiscard]] const std::vector<MessageT>& inbox() const noexcept {
+    return machine_->inbox_[id_];
+  }
+
+  /// send(m, q) of Section 2. The destination must lie in the sender's
+  /// i-cluster, where i is the current superstep's label.
+  void send(std::uint64_t dst, Payload data) {
+    machine_->enqueue(id_, dst, std::move(data));
+  }
+
+  /// Dummy traffic: counts toward degrees (and therefore wiseness) exactly
+  /// like `count` unit messages, but carries no payload and is not delivered.
+  void send_dummy(std::uint64_t dst, std::uint64_t count = 1) {
+    machine_->enqueue_dummy(id_, dst, count);
+  }
+
+ private:
+  friend class Machine<Payload>;
+  Vp(Machine<Payload>* machine, std::uint64_t id)
+      : machine_(machine), id_(id) {}
+
+  Machine<Payload>* machine_;
+  std::uint64_t id_;
+};
+
+template <typename Payload>
+class Machine {
+ public:
+  using MessageT = Message<Payload>;
+
+  /// Create an M(v). v must be a power of two (Section 2's assumption).
+  explicit Machine(std::uint64_t v)
+      : log_v_(log2_exact(v)), v_(v), trace_(log_v_) {
+    inbox_.resize(v_);
+    staging_.resize(v_);
+    const unsigned folds = log_v_ + 1;
+    sent_.resize(folds);
+    recv_.resize(folds);
+    touched_.resize(folds);
+    for (unsigned j = 0; j <= log_v_; ++j) {
+      sent_[j].assign(std::size_t{1} << j, 0);
+      recv_[j].assign(std::size_t{1} << j, 0);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t v() const noexcept { return v_; }
+  [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Execute one i-superstep: `body(vp)` runs for every VP in index order,
+  /// then the closing sync(i) delivers all messages sent during the body.
+  template <typename Body>
+  void superstep(unsigned label, Body&& body) {
+    superstep_range(label, 0, v_, std::forward<Body>(body));
+  }
+
+  /// Same as superstep(), but runs the body only for VPs in [first, last).
+  /// Idle VPs still take part in the barrier; this is purely a simulator
+  /// fast-path for supersteps whose active set is known to be a range.
+  template <typename Body>
+  void superstep_range(unsigned label, std::uint64_t first, std::uint64_t last,
+                       Body&& body) {
+    begin_superstep(label);
+    for (std::uint64_t r = first; r < last; ++r) {
+      Vp<Payload> vp(this, r);
+      body(vp);
+    }
+    end_superstep();
+  }
+
+  /// Same as superstep(), but runs the body only for the listed VPs (which
+  /// must be strictly increasing, for deterministic delivery order). Used by
+  /// schedules whose active set per superstep is sparse, e.g. the stencil
+  /// diamond phases where most submachines hold dummy diamonds.
+  template <typename Body>
+  void superstep_sparse(unsigned label, std::span<const std::uint64_t> active,
+                        Body&& body) {
+    begin_superstep(label);
+    std::uint64_t previous = 0;
+    bool first = true;
+    for (const std::uint64_t r : active) {
+      if (r >= v_ || (!first && r <= previous)) {
+        in_superstep_ = false;
+        throw std::invalid_argument(
+            "Machine: sparse active set must be strictly increasing VP ids");
+      }
+      previous = r;
+      first = false;
+      Vp<Payload> vp(this, r);
+      body(vp);
+    }
+    end_superstep();
+  }
+
+  /// Read access to a VP's current inbox between supersteps (used to extract
+  /// results after the final sync).
+  [[nodiscard]] const std::vector<MessageT>& inbox(std::uint64_t vp) const {
+    return inbox_.at(vp);
+  }
+
+  /// Peak number of messages delivered to any single VP at any barrier —
+  /// the communication-buffer component of a VP's memory footprint.
+  /// Section 6 lists memory-constrained evaluation as future work; this
+  /// audit is the hook for studying it (cf. the space-bounded schedulers of
+  /// Chowdhury et al. / Simhadri et al.).
+  [[nodiscard]] std::uint64_t peak_inbox_messages() const noexcept {
+    return peak_inbox_;
+  }
+
+ private:
+  friend class Vp<Payload>;
+
+  void begin_superstep(unsigned label) {
+    const unsigned label_bound = std::max(1u, log_v_);
+    if (label >= label_bound) {
+      throw std::invalid_argument("Machine: superstep label out of range");
+    }
+    if (in_superstep_) {
+      throw std::logic_error("Machine: nested superstep");
+    }
+    in_superstep_ = true;
+    label_ = label;
+    messages_ = 0;
+    record_.label = label;
+    record_.degree.assign(log_v_ + 1, 0);
+  }
+
+  void end_superstep() {
+    // Degrees: h(2^j) = max over processors of max(sent, received); the
+    // touched lists let us reset the counters in O(#touched).
+    for (unsigned j = 1; j <= log_v_; ++j) {
+      std::uint64_t peak = 0;
+      for (const std::uint64_t proc : touched_[j]) {
+        peak = std::max(peak, std::max<std::uint64_t>(sent_[j][proc],
+                                                      recv_[j][proc]));
+        sent_[j][proc] = 0;
+        recv_[j][proc] = 0;
+      }
+      touched_[j].clear();
+      record_.degree[j] = peak;
+    }
+    record_.messages = messages_;
+    trace_.append(std::move(record_));
+    record_ = SuperstepRecord{};
+
+    // Deliver: staged messages become the next superstep's inboxes.
+    for (std::uint64_t r = 0; r < v_; ++r) {
+      inbox_[r].swap(staging_[r]);
+      staging_[r].clear();
+      peak_inbox_ = std::max<std::uint64_t>(peak_inbox_, inbox_[r].size());
+    }
+    in_superstep_ = false;
+  }
+
+  void check_cluster(std::uint64_t src, std::uint64_t dst) const {
+    if (dst >= v_) {
+      throw std::out_of_range("Machine: destination VP out of range");
+    }
+    if (shared_msb(src, dst, log_v_) < label_) {
+      throw ClusterViolation(
+          "Machine: message leaves the sender's " + std::to_string(label_) +
+          "-cluster (src=" + std::to_string(src) +
+          ", dst=" + std::to_string(dst) + ")");
+    }
+  }
+
+  void count_message(std::uint64_t src, std::uint64_t dst,
+                     std::uint64_t count) {
+    messages_ += count;
+    if (src == dst) return;
+    const std::uint64_t x = src ^ dst;
+    // The endpoints share cb most-significant bits; folds with j > cb place
+    // them on different processors.
+    const unsigned cb = log_v_ - static_cast<unsigned>(std::bit_width(x));
+    for (unsigned j = cb + 1; j <= log_v_; ++j) {
+      const std::uint64_t ps = src >> (log_v_ - j);
+      const std::uint64_t pd = dst >> (log_v_ - j);
+      if (sent_[j][ps] == 0 && recv_[j][ps] == 0) touched_[j].push_back(ps);
+      if (sent_[j][pd] == 0 && recv_[j][pd] == 0) touched_[j].push_back(pd);
+      sent_[j][ps] += count;
+      recv_[j][pd] += count;
+    }
+  }
+
+  void enqueue(std::uint64_t src, std::uint64_t dst, Payload data) {
+    if (!in_superstep_) throw std::logic_error("Machine: send outside superstep");
+    check_cluster(src, dst);
+    count_message(src, dst, 1);
+    staging_[dst].push_back(MessageT{src, std::move(data)});
+  }
+
+  void enqueue_dummy(std::uint64_t src, std::uint64_t dst,
+                     std::uint64_t count) {
+    if (!in_superstep_) throw std::logic_error("Machine: send outside superstep");
+    if (count == 0) return;
+    check_cluster(src, dst);
+    count_message(src, dst, count);
+  }
+
+  unsigned log_v_;
+  std::uint64_t v_;
+  Trace trace_;
+  std::uint64_t peak_inbox_ = 0;
+
+  std::vector<std::vector<MessageT>> inbox_;
+  std::vector<std::vector<MessageT>> staging_;
+
+  bool in_superstep_ = false;
+  unsigned label_ = 0;
+  std::uint64_t messages_ = 0;
+  SuperstepRecord record_;
+
+  // Per-fold degree counters, reset via touched lists after every superstep.
+  std::vector<std::vector<std::uint64_t>> sent_;
+  std::vector<std::vector<std::uint64_t>> recv_;
+  std::vector<std::vector<std::uint64_t>> touched_;
+};
+
+}  // namespace nobl

@@ -1,0 +1,120 @@
+#include "bsp/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+namespace nobl {
+namespace topology {
+namespace {
+
+void require_power_of_two(std::uint64_t p) {
+  if (!is_pow2(p) || p < 2) {
+    throw std::invalid_argument("topology: p must be a power of two >= 2");
+  }
+}
+
+DbspParams finalize(DbspParams params) {
+  if (!params.monotone()) {
+    throw std::logic_error("topology: constructed parameters violate "
+                           "Theorem 3.4 monotonicity");
+  }
+  return params;
+}
+
+}  // namespace
+
+DbspParams mesh(std::uint64_t p, unsigned d, double g0, double ell0) {
+  require_power_of_two(p);
+  if (d == 0) throw std::invalid_argument("mesh: dimension must be >= 1");
+  const unsigned log_p = log2_exact(p);
+  DbspParams params;
+  params.name = std::to_string(d) + "d-mesh(p=" + std::to_string(p) + ")";
+  params.g.resize(log_p);
+  params.ell.resize(log_p);
+  for (unsigned i = 0; i < log_p; ++i) {
+    const double cluster = std::ldexp(1.0, static_cast<int>(log_p - i));
+    const double side = std::pow(cluster, 1.0 / d);
+    params.g[i] = g0 * side;          // gap: cluster / bisection = side
+    params.ell[i] = ell0 * d * side;  // latency: sub-mesh diameter
+  }
+  return finalize(std::move(params));
+}
+
+DbspParams linear_array(std::uint64_t p, double g0, double ell0) {
+  DbspParams params = mesh(p, 1, g0, ell0);
+  params.name = "linear-array(p=" + std::to_string(p) + ")";
+  return params;
+}
+
+DbspParams hypercube(std::uint64_t p, double g0, double ell0) {
+  require_power_of_two(p);
+  const unsigned log_p = log2_exact(p);
+  DbspParams params;
+  params.name = "hypercube(p=" + std::to_string(p) + ")";
+  params.g.resize(log_p);
+  params.ell.resize(log_p);
+  for (unsigned i = 0; i < log_p; ++i) {
+    params.g[i] = g0;
+    params.ell[i] = ell0 * static_cast<double>(log_p - i);
+  }
+  return finalize(std::move(params));
+}
+
+DbspParams fat_tree(std::uint64_t p, double g0, double ell0) {
+  DbspParams params = hypercube(p, g0, ell0);
+  params.name = "fat-tree(p=" + std::to_string(p) + ")";
+  return params;
+}
+
+DbspParams uniform(std::uint64_t p, double g, double ell) {
+  require_power_of_two(p);
+  const unsigned log_p = log2_exact(p);
+  DbspParams params;
+  params.name = "uniform-bsp(p=" + std::to_string(p) + ")";
+  params.g.assign(log_p, g);
+  params.ell.assign(log_p, ell);
+  return finalize(std::move(params));
+}
+
+DbspParams geometric(std::uint64_t p, double g0, double rg, double ell0,
+                     double rl) {
+  require_power_of_two(p);
+  if (rg <= 0 || rg > 1 || rl <= 0 || rl > 1 || rl > rg) {
+    throw std::invalid_argument(
+        "geometric: need 0 < rl <= rg <= 1 for monotone parameters");
+  }
+  const unsigned log_p = log2_exact(p);
+  DbspParams params;
+  params.name = "geometric(p=" + std::to_string(p) + ",rg=" +
+                Table::format_double(rg) + ",rl=" + Table::format_double(rl) +
+                ")";
+  params.g.resize(log_p);
+  params.ell.resize(log_p);
+  double g = g0;
+  double ell = ell0;
+  for (unsigned i = 0; i < log_p; ++i) {
+    params.g[i] = g;
+    params.ell[i] = ell;
+    g *= rg;
+    ell *= rl;
+  }
+  return finalize(std::move(params));
+}
+
+std::vector<DbspParams> standard_suite(std::uint64_t p) {
+  std::vector<DbspParams> suite;
+  suite.push_back(hypercube(p));
+  suite.push_back(fat_tree(p, 1.0, 4.0));
+  suite.push_back(mesh(p, 2));
+  suite.push_back(mesh(p, 3));
+  suite.push_back(linear_array(p));
+  suite.push_back(uniform(p, 1.0, 16.0));
+  suite.push_back(geometric(p, 8.0, 0.75, 64.0, 0.5));
+  return suite;
+}
+
+}  // namespace topology
+}  // namespace nobl

@@ -1,0 +1,59 @@
+// D-BSP parameter vectors for classic point-to-point networks.
+//
+// Bilardi, Pietracaprina, Pucci (1999; 2007a) show that the D-BSP's 2·log p
+// parameters capture bandwidth and latency of a wide class of networks by
+// assigning each nested i-cluster the gap/latency of the subnetwork it folds
+// onto. We provide the standard families:
+//
+//   d-dimensional mesh/array : g_i = Θ((p/2^i)^{1/d}),  ℓ_i = Θ((p/2^i)^{1/d})
+//   hypercube / fat-tree      : g_i = Θ(1),             ℓ_i = Θ(log(p/2^i))
+//   uniform BSP               : g_i = g,                ℓ_i = ℓ
+//   geometric                 : explicit decay ratios (for theorem-range
+//                               stress tests)
+//
+// All constructors produce vectors satisfying Theorem 3.4's monotonicity
+// hypotheses (g_i non-increasing, ℓ_i/g_i non-increasing), which is asserted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/cost.hpp"
+
+namespace nobl {
+namespace topology {
+
+/// d-dimensional array/mesh: an i-cluster of p/2^i processors folds onto a
+/// sub-mesh of that size, with bisection-limited gap (p/2^i)^{1/d} scaled by
+/// g0 and diameter-limited latency scaled by ell0.
+[[nodiscard]] DbspParams mesh(std::uint64_t p, unsigned d, double g0 = 1.0,
+                              double ell0 = 1.0);
+
+/// Linear array = 1-dimensional mesh.
+[[nodiscard]] DbspParams linear_array(std::uint64_t p, double g0 = 1.0,
+                                      double ell0 = 1.0);
+
+/// Hypercube-like network: constant gap, logarithmic latency.
+[[nodiscard]] DbspParams hypercube(std::uint64_t p, double g0 = 1.0,
+                                   double ell0 = 1.0);
+
+/// Fat-tree with full bisection bandwidth: constant gap, latency proportional
+/// to the height of the subtree spanning the cluster.
+[[nodiscard]] DbspParams fat_tree(std::uint64_t p, double g0 = 1.0,
+                                  double ell0 = 1.0);
+
+/// Flat BSP: level-independent g and ℓ (the degenerate D-BSP).
+[[nodiscard]] DbspParams uniform(std::uint64_t p, double g = 1.0,
+                                 double ell = 1.0);
+
+/// Geometric family: g_i = g0 · rg^i, ℓ_i = ell0 · rl^i with 0 < rg, rl <= 1
+/// and rl <= rg (so ℓ_i/g_i is non-increasing). Used to sweep the theorem's
+/// admissible parameter region.
+[[nodiscard]] DbspParams geometric(std::uint64_t p, double g0, double rg,
+                                   double ell0, double rl);
+
+/// The full default suite used by benches and examples.
+[[nodiscard]] std::vector<DbspParams> standard_suite(std::uint64_t p);
+
+}  // namespace topology
+}  // namespace nobl

@@ -1,0 +1,83 @@
+#include "bsp/trace.hpp"
+
+#include <algorithm>
+
+namespace nobl {
+
+void Trace::append(SuperstepRecord record) {
+  if (record.degree.size() != static_cast<std::size_t>(log_v_) + 1) {
+    throw std::invalid_argument("Trace::append: degree vector size mismatch");
+  }
+  const unsigned label_bound = std::max(1u, log_v_);
+  if (record.label >= label_bound) {
+    throw std::invalid_argument("Trace::append: label out of range");
+  }
+  if (record.degree[0] != 0) {
+    throw std::invalid_argument("Trace::append: nonzero degree at fold p=1");
+  }
+  steps_.push_back(std::move(record));
+}
+
+std::uint64_t Trace::S(unsigned label) const {
+  std::uint64_t count = 0;
+  for (const auto& s : steps_) {
+    if (s.label == label) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Trace::F(unsigned label, unsigned log_p) const {
+  check_log_p(log_p);
+  std::uint64_t sum = 0;
+  for (const auto& s : steps_) {
+    if (s.label == label) sum += s.degree[log_p];
+  }
+  return sum;
+}
+
+std::uint64_t Trace::total_F(unsigned log_p) const {
+  check_log_p(log_p);
+  std::uint64_t sum = 0;
+  for (const auto& s : steps_) {
+    if (s.label < log_p) sum += s.degree[log_p];
+  }
+  return sum;
+}
+
+std::uint64_t Trace::partial_F(unsigned label_bound, unsigned log_p) const {
+  check_log_p(log_p);
+  std::uint64_t sum = 0;
+  for (const auto& s : steps_) {
+    if (s.label < label_bound) sum += s.degree[log_p];
+  }
+  return sum;
+}
+
+std::uint64_t Trace::total_S(unsigned log_p) const {
+  std::uint64_t count = 0;
+  for (const auto& s : steps_) {
+    if (s.label < log_p) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Trace::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : steps_) sum += s.messages;
+  return sum;
+}
+
+unsigned Trace::max_label() const {
+  unsigned m = 0;
+  for (const auto& s : steps_) m = std::max(m, s.label);
+  return m;
+}
+
+void Trace::extend(const Trace& other) {
+  if (other.log_v_ != log_v_) {
+    throw std::invalid_argument("Trace::extend: incompatible machine sizes");
+  }
+  steps_.insert(steps_.end(), other.steps_.begin(), other.steps_.end());
+}
+
+}  // namespace nobl

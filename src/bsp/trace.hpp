@@ -1,0 +1,95 @@
+// Communication traces: the bridge between the three models of the paper.
+//
+// An algorithm executes once, at full granularity, on the specification model
+// M(v). The trace records, for every superstep s, its label i and its degree
+// h^s(n, 2^j) under folding onto every machine size 2^j (Section 2). All the
+// paper's metrics are then pure functions of the trace:
+//
+//   S^i(n)        — number of i-supersteps,
+//   F^i(n, 2^j)   — cumulative degree of i-supersteps at fold 2^j,
+//   H_A(n, p, σ)  — communication complexity, Eq. (1),
+//   D_A(n,p,g,ℓ)  — communication time, Eq. (2)  (see bsp/cost.hpp).
+//
+// Degree convention: h = max over processors of max(#messages sent, #messages
+// received), counting only messages whose endpoints fold onto *different*
+// processors (messages between VPs folded onto the same processor become
+// local memory traffic; cf. the folding discussion before Lemma 3.1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nobl {
+
+/// Record of a single executed superstep.
+struct SuperstepRecord {
+  unsigned label = 0;  ///< i of the i-superstep, 0 <= i < log v
+  /// degree[j] = h^s(n, 2^j) for 0 <= j <= log v. degree[0] == 0 always
+  /// (a single processor exchanges no messages with itself).
+  std::vector<std::uint64_t> degree;
+  std::uint64_t messages = 0;  ///< total VP-to-VP messages (incl. dummies)
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(unsigned log_v) : log_v_(log_v) {}
+
+  [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
+  [[nodiscard]] std::uint64_t v() const noexcept {
+    return std::uint64_t{1} << log_v_;
+  }
+  [[nodiscard]] std::size_t supersteps() const noexcept {
+    return steps_.size();
+  }
+  [[nodiscard]] const std::vector<SuperstepRecord>& steps() const noexcept {
+    return steps_;
+  }
+
+  void append(SuperstepRecord record);
+
+  /// S^i(n): the number of i-supersteps.
+  [[nodiscard]] std::uint64_t S(unsigned label) const;
+
+  /// F^i(n, 2^log_p): cumulative degree of i-supersteps at fold 2^log_p.
+  [[nodiscard]] std::uint64_t F(unsigned label, unsigned log_p) const;
+
+  /// Σ_{i < log_p} F^i(n, 2^log_p) — the quantity in Lemma 3.1 / Def. 3.2.
+  [[nodiscard]] std::uint64_t total_F(unsigned log_p) const;
+
+  /// Σ_{i < label_bound} F^i(n, 2^log_p): cumulative degree at fold 2^log_p
+  /// restricted to supersteps with label below label_bound (the mixed-index
+  /// sums appearing on the right-hand sides of Lemma 3.1 and Def. 3.2).
+  [[nodiscard]] std::uint64_t partial_F(unsigned label_bound,
+                                        unsigned log_p) const;
+
+  /// Σ_{i < log_p} S^i(n) — the superstep count relevant at fold 2^log_p
+  /// (supersteps with label >= log p become local computation).
+  [[nodiscard]] std::uint64_t total_S(unsigned log_p) const;
+
+  /// Total messages routed (including dummy messages), across all supersteps.
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+  /// Largest superstep label present.
+  [[nodiscard]] unsigned max_label() const;
+
+  /// Concatenate another trace after this one (used to compose phases of an
+  /// algorithm that is driven in separate machine runs).
+  void extend(const Trace& other);
+
+ private:
+  void check_log_p(unsigned log_p) const {
+    if (log_p > log_v_) {
+      throw std::out_of_range("Trace: fold larger than specification model");
+    }
+  }
+
+  unsigned log_v_ = 0;
+  std::vector<SuperstepRecord> steps_;
+};
+
+}  // namespace nobl

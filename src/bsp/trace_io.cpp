@@ -1,0 +1,73 @@
+#include "bsp/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nobl {
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "log_v," << trace.log_v() << '\n';
+  for (const auto& s : trace.steps()) {
+    os << s.label << ',' << s.messages;
+    for (const auto d : s.degree) os << ',' << d;
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::vector<std::uint64_t> parse_fields(const std::string& line) {
+  std::vector<std::uint64_t> fields;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = line.find(',', pos);
+    const std::string token =
+        line.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+      throw std::invalid_argument("read_trace_csv: non-numeric field '" +
+                                  token + "'");
+    }
+    fields.push_back(std::stoull(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+Trace read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_trace_csv: empty input");
+  }
+  if (line.rfind("log_v,", 0) != 0) {
+    throw std::invalid_argument("read_trace_csv: missing log_v header");
+  }
+  const auto header = parse_fields(line.substr(6));
+  if (header.size() != 1 || header[0] > 63) {
+    throw std::invalid_argument("read_trace_csv: bad log_v header");
+  }
+  const auto log_v = static_cast<unsigned>(header[0]);
+  Trace trace(log_v);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = parse_fields(line);
+    if (fields.size() != static_cast<std::size_t>(log_v) + 3) {
+      throw std::invalid_argument("read_trace_csv: wrong field count");
+    }
+    SuperstepRecord record;
+    record.label = static_cast<unsigned>(fields[0]);
+    record.messages = fields[1];
+    record.degree.assign(fields.begin() + 2, fields.end());
+    trace.append(std::move(record));  // re-validates label/degree shape
+  }
+  return trace;
+}
+
+}  // namespace nobl

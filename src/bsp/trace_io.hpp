@@ -1,0 +1,24 @@
+// Trace serialization: persist a recorded communication trace as CSV so a
+// run on the specification model can be archived, diffed, or re-analyzed
+// (H/D/wiseness are pure functions of the trace) without re-executing the
+// algorithm.
+//
+// Format: header line `log_v,<value>`, then one line per superstep:
+//   label,messages,degree_0,degree_1,...,degree_logv
+#pragma once
+
+#include <iosfwd>
+
+#include "bsp/trace.hpp"
+
+namespace nobl {
+
+/// Serialize a trace. Deterministic, line-oriented, self-describing.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+
+/// Parse a trace written by write_trace_csv. Throws std::invalid_argument on
+/// malformed input (wrong field counts, non-numeric fields, label/degree
+/// constraints violated — the same validation Trace::append applies).
+[[nodiscard]] Trace read_trace_csv(std::istream& is);
+
+}  // namespace nobl

@@ -1,0 +1,111 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bsp/topology.hpp"
+#include "core/wiseness.hpp"
+#include "util/bits.hpp"
+
+namespace nobl {
+
+std::vector<double> sigma_grid(std::uint64_t n, std::uint64_t p) {
+  const double ratio = static_cast<double>(n) / static_cast<double>(p);
+  std::vector<double> grid{0.0, 1.0, std::floor(std::sqrt(ratio)),
+                           std::floor(ratio)};
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+std::vector<std::uint64_t> pow2_range(std::uint64_t max_p) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = 2; p <= max_p; p *= 2) out.push_back(p);
+  return out;
+}
+
+Table h_table(const std::string& title, const std::vector<AlgoRun>& runs,
+              const CostFormula& predicted, const CostFormula& lower_bound) {
+  Table table(title, {"n", "p", "sigma", "H measured", "H predicted",
+                      "meas/pred", "lower bound", "meas/LB"});
+  for (const auto& run : runs) {
+    for (const std::uint64_t p : pow2_range(run.trace.v())) {
+      const unsigned log_p = log2_exact(p);
+      for (const double sigma : sigma_grid(run.n, p)) {
+        const double measured =
+            communication_complexity(run.trace, log_p, sigma);
+        const double pred = predicted(run.n, p, sigma);
+        const double lower = lower_bound(run.n, p, sigma);
+        table.row()
+            .add(run.n)
+            .add(p)
+            .add(sigma)
+            .add(measured)
+            .add(pred)
+            .add(pred > 0 ? measured / pred : 0.0)
+            .add(lower)
+            .add(lower > 0 ? measured / lower : 0.0);
+      }
+    }
+  }
+  return table;
+}
+
+Table wiseness_table(const std::string& title, const std::vector<AlgoRun>& runs) {
+  Table table(title, {"n", "p", "alpha (Def 3.2)", "gamma (Def 5.2)"});
+  for (const auto& run : runs) {
+    for (const std::uint64_t p : pow2_range(run.trace.v())) {
+      const unsigned log_p = log2_exact(p);
+      table.row()
+          .add(run.n)
+          .add(p)
+          .add(wiseness_alpha(run.trace, log_p))
+          .add(fullness_gamma(run.trace, log_p));
+    }
+  }
+  return table;
+}
+
+Table dbsp_table(const std::string& title, const std::vector<AlgoRun>& runs,
+                 std::uint64_t p, const LowerBoundFn& lower_bound) {
+  Table table(title, {"n", "topology", "D measured", "D lower bound",
+                      "meas/LB", "max ell/g"});
+  for (const auto& run : runs) {
+    const std::uint64_t fold = std::min<std::uint64_t>(p, run.trace.v());
+    if (fold < 2) continue;
+    for (const auto& params : topology::standard_suite(fold)) {
+      const double measured = communication_time(run.trace, params);
+      const double lower = dbsp_lower_bound(lower_bound, run.n, params);
+      table.row()
+          .add(run.n)
+          .add(params.name)
+          .add(measured)
+          .add(lower)
+          .add(lower > 0 ? measured / lower : 0.0)
+          .add(params.max_ell_over_g());
+    }
+  }
+  return table;
+}
+
+Table superstep_census(const std::string& title, const AlgoRun& run) {
+  Table table(title, {"label i", "S^i (count)", "F^i at p=v",
+                      "max degree at p=v"});
+  const unsigned log_v = run.trace.log_v();
+  for (unsigned i = 0; i < std::max(1u, log_v); ++i) {
+    const std::uint64_t count = run.trace.S(i);
+    if (count == 0) continue;
+    std::uint64_t peak = 0;
+    for (const auto& s : run.trace.steps()) {
+      if (s.label == i) peak = std::max(peak, s.degree[log_v]);
+    }
+    table.row()
+        .add(i)
+        .add(count)
+        .add(run.trace.F(i, log_v))
+        .add(peak);
+  }
+  return table;
+}
+
+}  // namespace nobl

@@ -1,0 +1,68 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace nobl {
+namespace lb {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+double dn(std::uint64_t x) { return static_cast<double>(x); }
+
+}  // namespace
+
+double matmul(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 1, "lb::matmul: need p >= 2, n >= 1");
+  return dn(n) / std::pow(dn(p), 2.0 / 3.0) + sigma;
+}
+
+double matmul_space(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 1, "lb::matmul_space: need p >= 2, n >= 1");
+  return dn(n) / std::sqrt(dn(p)) + sigma;
+}
+
+double fft(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 2 && p <= n, "lb::fft: need 2 <= p <= n");
+  return dn(n) * paper_log2(dn(n)) / (dn(p) * paper_log2(dn(n) / dn(p))) +
+         sigma;
+}
+
+double sort(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 2 && p <= n, "lb::sort: need 2 <= p <= n");
+  return dn(n) * paper_log2(dn(n)) / (dn(p) * paper_log2(dn(n) / dn(p))) +
+         sigma;
+}
+
+double stencil(std::uint64_t n, unsigned d, std::uint64_t p, double sigma) {
+  require(p >= 2 && d >= 1, "lb::stencil: need p >= 2, d >= 1");
+  const double exponent = (dn(d) - 1.0) / dn(d);
+  return std::pow(dn(n), dn(d)) / std::pow(dn(p), exponent) + sigma;
+}
+
+double broadcast(std::uint64_t p, double sigma) {
+  require(p >= 2, "lb::broadcast: need p >= 2");
+  const double base = std::max(2.0, sigma);
+  return base * std::max(1.0, std::log2(dn(p)) / std::log2(base));
+}
+
+double broadcast_cost_at_rounds(double t, std::uint64_t p, double sigma) {
+  require(p >= 2 && t >= 1.0, "lb::broadcast_cost_at_rounds: bad arguments");
+  return t * (std::max(2.0, sigma) + std::pow(dn(p), 1.0 / t));
+}
+
+double broadcast_gap(double sigma1, double sigma2) {
+  require(sigma2 >= sigma1, "lb::broadcast_gap: need sigma2 >= sigma1");
+  const double s1 = std::max(2.0, sigma1);
+  const double s2 = std::max(2.0, sigma2);
+  return std::log2(s2) / (std::log2(s1) + std::max(0.0, std::log2(std::log2(s2))));
+}
+
+}  // namespace lb
+}  // namespace nobl

@@ -1,0 +1,93 @@
+#include "core/predictions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace nobl {
+namespace predict {
+namespace {
+
+double dn(std::uint64_t x) { return static_cast<double>(x); }
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+double matmul(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2, "predict::matmul: p >= 2");
+  return dn(n) / std::pow(dn(p), 2.0 / 3.0) +
+         sigma * paper_log2(dn(p));
+}
+
+double matmul_space(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2, "predict::matmul_space: p >= 2");
+  return dn(n) / std::sqrt(dn(p)) + sigma * std::sqrt(dn(p));
+}
+
+double fft(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && p <= n, "predict::fft: 2 <= p <= n");
+  return (dn(n) / dn(p) + sigma) * paper_log2(dn(n)) /
+         paper_log2(dn(n) / dn(p));
+}
+
+double sort_exponent() { return std::log(4.0) / std::log(1.5); }
+
+double sort(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && p <= n, "predict::sort: 2 <= p <= n");
+  return (dn(n) / dn(p) + sigma) *
+         std::pow(paper_log2(dn(n)) / paper_log2(dn(n) / dn(p)),
+                  sort_exponent());
+}
+
+std::uint64_t stencil_k(std::uint64_t n) {
+  require(n >= 2, "predict::stencil_k: n >= 2");
+  const double root = std::sqrt(paper_log2(dn(n)));
+  return std::uint64_t{1} << static_cast<unsigned>(std::ceil(root));
+}
+
+double stencil1(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && p <= n, "predict::stencil1: 2 <= p <= n");
+  const double k = dn(stencil_k(n));
+  const double levels =
+      std::max(1.0, std::ceil(paper_log2(dn(p)) / paper_log2(k)));
+  double total = 0.0;
+  double weight = 2.0 * k - 1.0;
+  for (double i = 0; i < levels; ++i) {
+    total += weight * (dn(n) / dn(p) + sigma);
+    weight *= 2.0 * k - 1.0;
+  }
+  return total;
+}
+
+double stencil1_closed(std::uint64_t n) {
+  const double root = std::sqrt(paper_log2(dn(n)));
+  return dn(n) * std::pow(4.0, root);
+}
+
+double stencil2(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && p <= n * n, "predict::stencil2: 2 <= p <= n^2");
+  const double root = std::sqrt(paper_log2(dn(n)));
+  return (dn(n) * dn(n) / std::sqrt(dn(p)) + sigma) * std::pow(8.0, root);
+}
+
+double broadcast_aware(std::uint64_t p, double sigma) {
+  require(p >= 2, "predict::broadcast_aware: p >= 2");
+  const double base = std::max(2.0, sigma);
+  return base * std::max(1.0, std::log2(dn(p)) / std::log2(base));
+}
+
+double broadcast_oblivious(std::uint64_t p, double sigma,
+                           std::uint64_t kappa) {
+  require(p >= 2 && kappa >= 2, "predict::broadcast_oblivious: bad args");
+  const double rounds =
+      std::max(1.0, std::log2(dn(p)) / std::log2(dn(kappa)));
+  return rounds * (dn(kappa) - 1.0 + sigma);
+}
+
+}  // namespace predict
+}  // namespace nobl

@@ -1,0 +1,53 @@
+// Closed-form upper bounds proved in Section 4 (unit constants).
+//
+// These are the O(·) expressions of Theorems 4.2, 4.5, 4.8, 4.11, 4.13 and
+// of §4.1.1/§4.5, used by benches to report measured/predicted ratios: a
+// ratio bounded above and below by constants across a sweep is the observable
+// form of "the algorithm's communication complexity has this shape".
+#pragma once
+
+#include <cstdint>
+
+namespace nobl {
+namespace predict {
+
+/// Theorem 4.2: H_MM(n,p,σ) = O(n/p^{2/3} + σ log p).
+[[nodiscard]] double matmul(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// §4.1.1: H_MM-space(n,p,σ) = O(n/sqrt(p) + σ·sqrt(p)).
+[[nodiscard]] double matmul_space(std::uint64_t n, std::uint64_t p,
+                                  double sigma);
+
+/// Theorem 4.5: H_FFT(n,p,σ) = O((n/p + σ)·log n / log(n/p)).
+[[nodiscard]] double fft(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Theorem 4.8: H_sort(n,p,σ) = O((n/p + σ)·(log n / log(n/p))^{log_{3/2} 4}).
+[[nodiscard]] double sort(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// log_{3/2} 4 = 2.4094...: the exponent in Theorem 4.8.
+[[nodiscard]] double sort_exponent();
+
+/// Theorem 4.11 (refined recurrence form): for p <= k^τ,
+/// H_1stencil = Σ_{i<log_k p} (2k-1)^{i+1} (n/p + σ) with k = 2^⌈√log n⌉;
+/// evaluates the paper's O(n·4^{√log n}) for σ = O(n/p).
+[[nodiscard]] double stencil1(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Closed form O(n·4^{√log n}) of Theorem 4.11.
+[[nodiscard]] double stencil1_closed(std::uint64_t n);
+
+/// Theorem 4.13: H_2stencil = O((n²/√p)·8^{√log n}).
+[[nodiscard]] double stencil2(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// §4.5 upper bound: the σ-aware broadcast meets the Theorem 4.15 bound,
+/// H = O(max{2,σ}·log_{max{2,σ}} p).
+[[nodiscard]] double broadcast_aware(std::uint64_t p, double sigma);
+
+/// The network-oblivious fixed-fanout-κ broadcast: H = (κ-1+σ)·log_κ p.
+[[nodiscard]] double broadcast_oblivious(std::uint64_t p, double sigma,
+                                         std::uint64_t kappa);
+
+/// The recursion-depth parameter k = 2^⌈√log n⌉ of §4.4.
+[[nodiscard]] std::uint64_t stencil_k(std::uint64_t n);
+
+}  // namespace predict
+}  // namespace nobl

@@ -1,0 +1,79 @@
+#include "dbsp/ascend_descend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nobl {
+namespace {
+
+/// Append one k-superstep of per-processor degree `d` to the M(p)-level
+/// trace, filling in its degrees at all folds 2^j, j <= log_p:
+/// j <= k -> local (0); j > k -> d·p/2^j (protocol traffic crosses sibling
+/// (k+1)-cluster boundaries, which are also 2^j-fold processor boundaries).
+void append_step(Trace& out, unsigned log_p, unsigned k, std::uint64_t d) {
+  SuperstepRecord record;
+  record.label = k;
+  record.degree.assign(log_p + 1, 0);
+  const std::uint64_t p = std::uint64_t{1} << log_p;
+  for (unsigned j = k + 1; j <= log_p; ++j) {
+    record.degree[j] = d * (p >> j);
+  }
+  record.messages = d * p;
+  out.append(std::move(record));
+}
+
+}  // namespace
+
+Trace ascend_descend_transform(const Trace& trace, unsigned log_p,
+                               const AscendDescendOptions& options) {
+  if (log_p == 0 || log_p > trace.log_v()) {
+    throw std::out_of_range("ascend_descend_transform: log_p out of range");
+  }
+  const std::uint64_t p = std::uint64_t{1} << log_p;
+  Trace out(log_p);
+
+  for (const auto& s : trace.steps()) {
+    if (s.label >= log_p) continue;  // folds to local computation
+    const unsigned i = s.label;
+
+    // Balanced per-processor share of the traffic handled at iteration k:
+    // ceil(2^{k+1}·h^s(n,2^{k+1}) / p).
+    auto share = [&](unsigned k) -> std::uint64_t {
+      const std::uint64_t h = s.degree[k + 1];
+      const std::uint64_t cluster = std::uint64_t{1} << (k + 1);
+      return (h * cluster + p - 1) / p;
+    };
+
+    bool any_comm = false;
+
+    // Ascend: k = log p − 1 down to i + 1.
+    for (unsigned k = log_p; k-- > i + 1;) {
+      if (s.degree[k + 1] == 0) continue;
+      any_comm = true;
+      if (options.include_prefix) {
+        const unsigned depth = 2 * (log_p - k);
+        for (unsigned t = 0; t < depth; ++t) append_step(out, log_p, k, 1);
+      }
+      append_step(out, log_p, k, share(k));
+    }
+
+    // Descend: k = i up to log p − 1.
+    for (unsigned k = i; k < log_p; ++k) {
+      if (s.degree[k + 1] == 0) continue;
+      any_comm = true;
+      if (options.include_prefix) {
+        const unsigned depth = 2 * (log_p - k);
+        for (unsigned t = 0; t < depth; ++t) append_step(out, log_p, k, 1);
+      }
+      append_step(out, log_p, k, share(k));
+    }
+
+    if (!any_comm) {
+      // Pure computation superstep: the barrier remains, no traffic.
+      append_step(out, log_p, i, 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace nobl

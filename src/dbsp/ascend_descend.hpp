@@ -1,0 +1,47 @@
+// The ascend–descend protocol (Section 5).
+//
+// Executing a network-oblivious algorithm A on a D-BSP with the standard
+// folding protocol charges each i-superstep its raw degree. When A is not
+// wise (e.g. one VP sends n messages to one other VP), this is far from
+// optimal: the protocol of Section 5 first spreads outbound messages evenly
+// across increasingly larger clusters (ascend), then gathers them toward
+// their destinations (descend), turning maximum-degree traffic into balanced
+// traffic at every level, at the price of O(log p) extra prefix supersteps
+// per level.
+//
+// Lemma 5.1: executing an i-superstep s this way costs, for every
+// i < k < log p, O(1) k-supersteps of degree O(2^k·h^s(n,2^k)/p) plus
+// O(log p) k-supersteps of constant degree.
+//
+// We implement the protocol as a *trace transform*: given A's trace on M(v)
+// and a target machine size p, produce the trace of the transformed
+// algorithm Ã on M(p), with exact (unit-constant) superstep and degree
+// bookkeeping. Ã's degree at a coarser fold 2^j is d·p/2^j for a k-superstep
+// of per-processor degree d (k < j): the protocol's traffic crosses sibling
+// (k+1)-cluster boundaries, so folding aggregates it proportionally — this
+// is precisely the accounting in the proof of Theorem 5.3, and it makes Ã
+// (Θ(1), p)-wise by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "bsp/trace.hpp"
+
+namespace nobl {
+
+struct AscendDescendOptions {
+  /// Emit the 2·(log p − k) constant-degree prefix supersteps per level that
+  /// assign intermediate destinations (a tree-based prefix per Lemma 5.1).
+  /// Disable to model machines with free prefix (cf. the geometric-parameter
+  /// remark closing Section 5).
+  bool include_prefix = true;
+};
+
+/// Transform A's trace into the trace of Ã = "A executed on M(2^log_p) with
+/// the ascend–descend protocol". Supersteps of A with label >= log_p fold to
+/// local computation and are dropped, as in the standard protocol.
+[[nodiscard]] Trace ascend_descend_transform(
+    const Trace& trace, unsigned log_p,
+    const AscendDescendOptions& options = {});
+
+}  // namespace nobl

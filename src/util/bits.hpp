@@ -1,0 +1,84 @@
+// Power-of-two bit arithmetic used throughout the framework.
+//
+// The paper (Section 2) assumes every machine size is a power of two and
+// indexes clusters by shared most-significant bits; these helpers centralize
+// that arithmetic so cluster logic is written once.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace nobl {
+
+/// True iff `x` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact base-2 logarithm of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t x) {
+  if (!is_pow2(x)) throw std::invalid_argument("log2_exact: not a power of 2");
+  return static_cast<unsigned>(std::bit_width(x) - 1);
+}
+
+/// Floor of log2(x) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("log2_floor: x == 0");
+  return static_cast<unsigned>(std::bit_width(x) - 1);
+}
+
+/// Ceiling of log2(x) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("log2_ceil: x == 0");
+  return static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/// The paper's `log x` convention (footnote 1): max{1, log2 x}.
+[[nodiscard]] inline double paper_log2(double x) {
+  if (x <= 0) throw std::invalid_argument("paper_log2: x <= 0");
+  const double v = std::log2(x);
+  return v < 1.0 ? 1.0 : v;
+}
+
+/// Smallest power of two >= x.
+[[nodiscard]] constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << log2_ceil(x);
+}
+
+/// Largest power of two <= x (x >= 1).
+[[nodiscard]] constexpr std::uint64_t floor_pow2(std::uint64_t x) {
+  return std::uint64_t{1} << log2_floor(x);
+}
+
+/// Number of most-significant bits (out of `width`) shared by a and b.
+/// Section 2: a message in an i-superstep may only connect processing
+/// elements sharing at least the i most significant index bits.
+[[nodiscard]] constexpr unsigned shared_msb(std::uint64_t a, std::uint64_t b,
+                                            unsigned width) noexcept {
+  const std::uint64_t x = a ^ b;
+  if (x == 0) return width;
+  const unsigned highest = static_cast<unsigned>(std::bit_width(x) - 1);
+  // Bits [width-1 .. highest+1] agree.
+  return width - 1 - highest;
+}
+
+/// Index of the i-cluster (among 2^i clusters) containing element r of a
+/// machine with 2^width elements: the i most significant bits of r.
+[[nodiscard]] constexpr std::uint64_t cluster_of(std::uint64_t r, unsigned i,
+                                                 unsigned width) noexcept {
+  assert(i <= width);
+  return r >> (width - i);
+}
+
+/// Integer square root of a perfect square power of 4.
+[[nodiscard]] constexpr std::uint64_t sqrt_pow2(std::uint64_t x) {
+  const unsigned l = log2_exact(x);
+  if (l % 2 != 0) throw std::invalid_argument("sqrt_pow2: odd log");
+  return std::uint64_t{1} << (l / 2);
+}
+
+}  // namespace nobl

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in the repository is bit-reproducible: workloads are
+// generated from explicitly seeded xoshiro256** streams (public-domain
+// algorithm by Blackman & Vigna), independent of the standard library's
+// unspecified distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nobl {
+
+/// xoshiro256** 1.0 engine. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Multiply-shift on the top 32 bits keeps bias below 2^-32, ample for
+    // (non-cryptographic) workload generation; huge bounds fall back to
+    // modulo reduction.
+    if (bound >> 32 != 0) return (*this)() % bound;
+    const std::uint64_t hi = (*this)() >> 32;
+    return (hi * bound) >> 32;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace nobl

@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nobl {
+
+Summary summarize(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty sample");
+  Summary s;
+  s.count = samples.size();
+  s.min = samples[0];
+  s.max = samples[0];
+  double sum = 0.0;
+  double logsum = 0.0;
+  bool all_positive = true;
+  for (const double v : samples) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    if (v > 0) {
+      logsum += std::log(v);
+    } else {
+      all_positive = false;
+    }
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  s.geomean =
+      all_positive ? std::exp(logsum / static_cast<double>(s.count)) : 0.0;
+  double sq = 0.0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("loglog_slope: need >= 2 paired samples");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) {
+      throw std::invalid_argument("loglog_slope: non-positive sample");
+    }
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) throw std::invalid_argument("loglog_slope: degenerate x");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace nobl

@@ -1,0 +1,28 @@
+// Small descriptive-statistics helpers for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace nobl {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double geomean = 0.0;  ///< geometric mean (all samples must be positive)
+  double stddev = 0.0;   ///< population standard deviation
+};
+
+/// Summarize a sample. Throws std::invalid_argument on an empty span or, for
+/// the geometric mean, on non-positive samples (geomean is then reported 0).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Least-squares slope of log(y) against log(x): the empirical polynomial
+/// exponent of a measured curve. Used to check growth *shapes* against the
+/// paper's closed forms (e.g. H_MM ~ n/p^{2/3} has log-log slope -2/3 in p).
+[[nodiscard]] double loglog_slope(std::span<const double> x,
+                                  std::span<const double> y);
+
+}  // namespace nobl

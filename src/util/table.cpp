@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace nobl {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::row() {
+  if (!cells_.empty() && cells_.back().size() != headers_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  if (cells_.empty()) throw std::logic_error("Table: add before row()");
+  if (cells_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table: too many cells in row");
+  }
+  cells_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+Table& Table::add(unsigned value) { return add(std::to_string(value)); }
+
+std::string Table::format_double(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  char buf[64];
+  const double mag = std::fabs(value);
+  if (value == std::floor(value) && mag < 1e15 && mag >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else if (mag != 0.0 && (mag >= 1e7 || mag < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.3e", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", value);
+  }
+  return buf;
+}
+
+Table& Table::add(double value) { return add(format_double(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::size_t total = 1;
+  for (const auto w : widths) total += w + 3;
+
+  const auto rule = std::string(total, '-');
+  os << rule << '\n';
+  os << "  " << title_ << '\n';
+  os << rule << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ';
+      os << std::string(widths[c] - cell.size(), ' ') << cell;
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << rule << '\n';
+  for (const auto& row : cells_) emit_row(row);
+  os << rule << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  table.print(os);
+  return os;
+}
+
+}  // namespace nobl

@@ -1,0 +1,50 @@
+// Console table renderer used by the benchmark harness.
+//
+// The paper reports its "evaluation" as closed-form bounds; our benches print
+// predicted-vs-measured tables. This renderer produces aligned, pipe-delimited
+// tables (readable in a terminal, pasteable into Markdown).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nobl {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> headers);
+
+  /// Begin a fresh row; values are appended with add().
+  Table& row();
+
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+  Table& add(unsigned value);
+  /// Doubles are rendered with 4 significant digits ("1.234e+05" style only
+  /// when magnitude demands it).
+  Table& add(double value);
+
+  [[nodiscard]] std::size_t rows() const { return cells_.size(); }
+
+  /// Render to the stream with column alignment and a title rule.
+  void print(std::ostream& os) const;
+
+  /// Render as comma-separated values (header row included).
+  void print_csv(std::ostream& os) const;
+
+  static std::string format_double(double value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace nobl

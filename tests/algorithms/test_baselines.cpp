@@ -1,0 +1,71 @@
+#include "algorithms/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bsp/cost.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace nobl {
+namespace {
+
+TEST(Baselines, MatmulTracksLowerBound) {
+  for (const std::uint64_t p : {4u, 64u, 512u}) {
+    const Trace t = baseline::matmul(4096, p);
+    const double h = communication_complexity(t, t.log_v(), 0.0);
+    const double lower = lb::matmul(4096, p, 0.0);
+    EXPECT_GE(h, lower) << "p=" << p;        // a baseline cannot beat the LB
+    EXPECT_LE(h, 8.0 * lower) << "p=" << p;  // and stays near it
+  }
+}
+
+TEST(Baselines, MatmulSpaceVolume) {
+  const std::uint64_t n = 4096, p = 64;
+  const Trace t = baseline::matmul_space(n, p);
+  const double h = communication_complexity(t, t.log_v(), 0.0);
+  EXPECT_GE(h, lb::matmul_space(n, p, 0.0));
+  EXPECT_LE(h, 8.0 * lb::matmul_space(n, p, 0.0));
+}
+
+TEST(Baselines, FftRoundStructure) {
+  // p = n^{1/2}: 2 rounds; p = n/2: log n rounds.
+  EXPECT_EQ(baseline::fft(1024, 32).supersteps(), 2u);
+  EXPECT_EQ(baseline::fft(1024, 512).supersteps(), 10u);
+  const Trace t = baseline::fft(1024, 32);
+  const double h = communication_complexity(t, t.log_v(), 0.0);
+  EXPECT_GE(h, lb::fft(1024, 32, 0.0));
+  EXPECT_LE(h, 4.0 * lb::fft(1024, 32, 0.0));
+}
+
+TEST(Baselines, SortAliasesFft) {
+  const Trace a = baseline::sort(256, 16);
+  const Trace b = baseline::fft(256, 16);
+  EXPECT_EQ(a.supersteps(), b.supersteps());
+  EXPECT_EQ(a.total_messages(), b.total_messages());
+}
+
+TEST(Baselines, StencilVolume) {
+  const Trace t = baseline::stencil(256, 1, 16);
+  const double h = communication_complexity(t, t.log_v(), 0.0);
+  EXPECT_GE(h, lb::stencil(256, 1, 16, 0.0));
+  EXPECT_LE(h, 8.0 * lb::stencil(256, 1, 16, 0.0));
+  const Trace t2 = baseline::stencil(64, 2, 16);
+  const double h2 = communication_complexity(t2, t2.log_v(), 0.0);
+  EXPECT_GE(h2, lb::stencil(64, 2, 16, 0.0));
+  EXPECT_LE(h2, 8.0 * lb::stencil(64, 2, 16, 0.0));
+}
+
+TEST(Baselines, FlatTracesAreLabelZero) {
+  for (const auto& t : {baseline::matmul(4096, 16), baseline::fft(1024, 16),
+                        baseline::stencil(256, 1, 16)}) {
+    for (const auto& s : t.steps()) EXPECT_EQ(s.label, 0u);
+  }
+}
+
+TEST(Baselines, Validation) {
+  EXPECT_THROW(baseline::matmul(64, 3), std::invalid_argument);
+  EXPECT_THROW(baseline::fft(64, 128), std::invalid_argument);
+  EXPECT_THROW(baseline::stencil(64, 0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,116 @@
+#include "algorithms/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/predictions.hpp"
+
+namespace nobl {
+namespace {
+
+void expect_all_received(const BroadcastRun& run, std::uint64_t value) {
+  for (std::size_t r = 0; r < run.values.size(); ++r) {
+    EXPECT_EQ(run.values[r], value) << "VP " << r;
+  }
+}
+
+class BroadcastSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BroadcastSweep, AwareDeliversEverywhere) {
+  const auto [v, sigma] = GetParam();
+  const auto run = broadcast_aware(v, sigma, 77);
+  expect_all_received(run, 77);
+}
+
+TEST_P(BroadcastSweep, AwareMeetsTheorem415Bound) {
+  const auto [v, sigma] = GetParam();
+  if (v < 2) return;
+  const auto run = broadcast_aware(v, sigma, 1);
+  const double h =
+      communication_complexity(run.trace, run.trace.log_v(), sigma);
+  EXPECT_LE(h, 8.0 * lb::broadcast(v, sigma)) << "v=" << v << " s=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BroadcastSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 16u, 256u, 4096u),
+                       ::testing::Values(0.0, 1.0, 4.0, 33.0, 1000.0)));
+
+TEST(Broadcast, ObliviousDeliversEverywhere) {
+  for (const std::uint64_t kappa : {2u, 4u, 16u}) {
+    const auto run = broadcast_oblivious(1024, kappa, 5);
+    expect_all_received(run, 5);
+  }
+}
+
+TEST(Broadcast, ObliviousMatchesClosedForm) {
+  // H of the fixed-fanout tree = (κ-1+σ)·log_κ p exactly (unit messages).
+  const auto run = broadcast_oblivious(1024, 2);
+  for (const double sigma : {0.0, 8.0, 64.0}) {
+    const double h =
+        communication_complexity(run.trace, run.trace.log_v(), sigma);
+    EXPECT_DOUBLE_EQ(h, predict::broadcast_oblivious(1024, sigma, 2));
+  }
+}
+
+TEST(Broadcast, AwareBeatsObliviousAtLargeSigma) {
+  // The core of §4.5: for σ >> the fanout the oblivious binary tree pays
+  // log₂p·σ while the aware algorithm pays ~σ·log_σ p.
+  const std::uint64_t v = 4096;
+  const double sigma = 512.0;
+  const auto aware = broadcast_aware(v, sigma);
+  const auto oblivious = broadcast_oblivious(v, 2);
+  const double h_aware =
+      communication_complexity(aware.trace, aware.trace.log_v(), sigma);
+  const double h_obl = communication_complexity(
+      oblivious.trace, oblivious.trace.log_v(), sigma);
+  EXPECT_LT(3.0 * h_aware, h_obl);
+}
+
+TEST(Broadcast, GapGrowsWithSigmaRange) {
+  // Theorem 4.16: any oblivious algorithm's GAP grows with σ2.
+  const auto run = broadcast_oblivious(4096, 2);
+  const unsigned log_p = run.trace.log_v();
+  const double gap_small = broadcast_gap_measured(run.trace, log_p, 0, 4);
+  const double gap_large =
+      broadcast_gap_measured(run.trace, log_p, 0, 4096);
+  EXPECT_GT(gap_large, 2.0 * gap_small);
+  // And it respects the theorem's lower bound at unit constants (up to a
+  // modest factor on the measured side).
+  EXPECT_GE(4.0 * gap_large, lb::broadcast_gap(0, 4096));
+}
+
+TEST(Broadcast, SuperstepCountMatchesKappa) {
+  EXPECT_EQ(broadcast_oblivious(1024, 2).trace.supersteps(), 10u);
+  EXPECT_EQ(broadcast_oblivious(1024, 32).trace.supersteps(), 2u);
+  // Aware: κ = 2^⌈log σ⌉ = 32 at σ = 20 -> 2 rounds on p = 1024.
+  EXPECT_EQ(broadcast_aware(1024, 20.0).trace.supersteps(), 2u);
+  EXPECT_EQ(broadcast_aware(1024, 0.0).trace.supersteps(), 10u);
+}
+
+TEST(Broadcast, LabelsTrackShrinkingClusters) {
+  const auto run = broadcast_oblivious(64, 2);
+  unsigned expected = 0;
+  for (const auto& s : run.trace.steps()) {
+    EXPECT_EQ(s.label, expected);
+    ++expected;
+  }
+}
+
+TEST(Broadcast, Validation) {
+  EXPECT_THROW(broadcast_oblivious(24, 2), std::invalid_argument);
+  EXPECT_THROW(broadcast_oblivious(16, 3), std::invalid_argument);
+  EXPECT_THROW((void)broadcast_gap_measured(Trace(3), 3, 8, 4),
+               std::invalid_argument);
+}
+
+TEST(Broadcast, TrivialMachine) {
+  const auto run = broadcast_aware(1, 10.0, 9);
+  EXPECT_EQ(run.values.size(), 1u);
+  EXPECT_EQ(run.values[0], 9u);
+  EXPECT_EQ(run.trace.supersteps(), 1u);
+}
+
+}  // namespace
+}  // namespace nobl

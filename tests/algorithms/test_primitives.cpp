@@ -1,0 +1,153 @@
+#include "algorithms/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nobl {
+namespace {
+
+TEST(Primitives, ReduceWholeMachine) {
+  Machine<long> m(8);
+  std::vector<long> values{1, 2, 3, 4, 5, 6, 7, 8};
+  reduce_segments(m, std::span<long>(values), 8,
+                  [](long a, long b) { return a + b; });
+  EXPECT_EQ(values[0], 36);
+  // log seg supersteps of degree 1.
+  EXPECT_EQ(m.trace().supersteps(), 3u);
+  for (const auto& s : m.trace().steps()) {
+    EXPECT_EQ(s.degree[3], 1u);
+  }
+}
+
+TEST(Primitives, ReduceSegmented) {
+  Machine<long> m(8);
+  std::vector<long> values{1, 2, 3, 4, 5, 6, 7, 8};
+  reduce_segments(m, std::span<long>(values), 4,
+                  [](long a, long b) { return a + b; });
+  EXPECT_EQ(values[0], 10);
+  EXPECT_EQ(values[4], 26);
+  // Labels start at the sub-segment level: no label-0 supersteps.
+  for (const auto& s : m.trace().steps()) {
+    EXPECT_GE(s.label, 1u);
+  }
+}
+
+TEST(Primitives, ReduceValidation) {
+  Machine<long> m(8);
+  std::vector<long> bad(4, 0);
+  EXPECT_THROW(reduce_segments(m, std::span<long>(bad), 8,
+                               [](long a, long b) { return a + b; }),
+               std::invalid_argument);
+  std::vector<long> values(8, 0);
+  EXPECT_THROW(reduce_segments(m, std::span<long>(values), 3,
+                               [](long a, long b) { return a + b; }),
+               std::invalid_argument);
+}
+
+TEST(Primitives, ExclusiveScanWholeMachine) {
+  Machine<long> m(8);
+  std::vector<long> values{1, 2, 3, 4, 5, 6, 7, 8};
+  exclusive_scan_segments(m, std::span<long>(values), 8,
+                          [](long a, long b) { return a + b; }, 0L);
+  EXPECT_EQ(values, (std::vector<long>{0, 1, 3, 6, 10, 15, 21, 28}));
+  EXPECT_EQ(m.trace().supersteps(), 6u);  // 2 log seg
+}
+
+TEST(Primitives, ExclusiveScanSegmented) {
+  Machine<long> m(8);
+  std::vector<long> values{1, 1, 1, 1, 2, 2, 2, 2};
+  exclusive_scan_segments(m, std::span<long>(values), 4,
+                          [](long a, long b) { return a + b; }, 0L);
+  EXPECT_EQ(values, (std::vector<long>{0, 1, 2, 3, 0, 2, 4, 6}));
+}
+
+TEST(Primitives, ScanMaxOperator) {
+  Machine<long> m(4);
+  std::vector<long> values{3, 1, 4, 1};
+  exclusive_scan_segments(m, std::span<long>(values), 4,
+                          [](long a, long b) { return std::max(a, b); },
+                          -1000L);
+  EXPECT_EQ(values, (std::vector<long>{-1000, 3, 3, 4}));
+}
+
+TEST(Primitives, PermuteReversal) {
+  Machine<int> m(8);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7};
+  permute(m, std::span<int>(values),
+          [](std::uint64_t r) { return 7 - r; });
+  EXPECT_EQ(values, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(m.trace().supersteps(), 1u);
+  EXPECT_EQ(m.trace().steps()[0].label, 0u);
+}
+
+TEST(Primitives, PermuteRejectsNonBijection) {
+  Machine<int> m(4);
+  std::vector<int> values(4, 0);
+  EXPECT_THROW(
+      permute(m, std::span<int>(values), [](std::uint64_t) { return 0ULL; }),
+      std::invalid_argument);
+}
+
+TEST(Primitives, TransposeRoundTrip) {
+  Machine<int> m(16);
+  std::vector<int> values(16);
+  std::iota(values.begin(), values.end(), 0);
+  // 4x4 transpose: value at (i,j) moves to (j,i).
+  transpose(m, std::span<int>(values), 4, 4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(values[i * 4 + j], static_cast<int>(j * 4 + i));
+    }
+  }
+  transpose(m, std::span<int>(values), 4, 4);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(values[r], r);
+}
+
+TEST(Primitives, TransposeRectangular) {
+  Machine<int> m(8);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7};  // 2x4 row-major
+  transpose(m, std::span<int>(values), 2, 4);       // -> 4x2
+  EXPECT_EQ(values, (std::vector<int>{0, 4, 1, 5, 2, 6, 3, 7}));
+  EXPECT_THROW(transpose(m, std::span<int>(values), 3, 3),
+               std::invalid_argument);
+}
+
+TEST(Primitives, CyclicShift) {
+  Machine<int> m(8);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7};
+  cyclic_shift(m, std::span<int>(values), 3);
+  EXPECT_EQ(values, (std::vector<int>{5, 6, 7, 0, 1, 2, 3, 4}));
+}
+
+class ScanSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScanSweep, MatchesSequentialScan) {
+  const unsigned log_v = GetParam();
+  const std::uint64_t v = 1ULL << log_v;
+  Xoshiro256 rng(log_v);
+  for (std::uint64_t seg = 1; seg <= v; seg *= 2) {
+    Machine<long> m(v);
+    std::vector<long> values(v);
+    for (auto& x : values) x = static_cast<long>(rng.below(100));
+    std::vector<long> expected(v);
+    for (std::uint64_t base = 0; base < v; base += seg) {
+      long acc = 0;
+      for (std::uint64_t r = 0; r < seg; ++r) {
+        expected[base + r] = acc;
+        acc += values[base + r];
+      }
+    }
+    exclusive_scan_segments(m, std::span<long>(values), seg,
+                            [](long a, long b) { return a + b; }, 0L);
+    EXPECT_EQ(values, expected) << "seg=" << seg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace nobl

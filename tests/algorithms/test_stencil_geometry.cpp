@@ -1,0 +1,118 @@
+// Focused unit tests for the diamond-schedule geometry (Figure 1 machinery),
+// complementing the end-to-end checks in test_stencil1d.cpp.
+#include "algorithms/stencil_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nobl {
+namespace {
+
+TEST(DiamondGeometry, RadicesMultiplyToN) {
+  for (const std::uint64_t n : {2u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    const DiamondSchedule sched(n);
+    std::uint64_t product = 1;
+    for (const auto r : sched.radices()) product *= r;
+    EXPECT_EQ(product, n) << "n=" << n;
+    EXPECT_EQ(sched.depth(), sched.radices().size());
+  }
+}
+
+TEST(DiamondGeometry, DefaultKIsPaperFormula) {
+  EXPECT_EQ(DiamondSchedule(16).k(), 4u);    // 2^⌈√4⌉
+  EXPECT_EQ(DiamondSchedule(256).k(), 8u);   // 2^⌈√8⌉
+  EXPECT_EQ(DiamondSchedule(4096).k(), 16u); // 2^⌈√12⌉
+}
+
+TEST(DiamondGeometry, LevelLabelsArePrefixSumsOfLogRadices) {
+  const DiamondSchedule sched(256);  // radices 8, 8, 4
+  EXPECT_EQ(sched.level_label(1), 0u);
+  EXPECT_EQ(sched.level_label(2), 3u);
+  EXPECT_EQ(sched.level_label(3), 6u);
+  EXPECT_THROW((void)sched.level_label(0), std::out_of_range);
+  EXPECT_THROW((void)sched.level_label(4), std::out_of_range);
+}
+
+TEST(DiamondGeometry, PairClassIsCarryDepth) {
+  const DiamondSchedule sched(64, 4);  // radices 4, 4, 4
+  EXPECT_EQ(sched.pair_class(0), 3u);   // 000 -> 001: finest
+  EXPECT_EQ(sched.pair_class(3), 2u);   // 003 -> 010
+  EXPECT_EQ(sched.pair_class(15), 1u);  // 033 -> 100
+  EXPECT_EQ(sched.pair_class(16), 3u);
+  EXPECT_THROW((void)sched.pair_class(63), std::out_of_range);
+}
+
+TEST(DiamondGeometry, NodeCoordinatesRoundTrip) {
+  const DiamondSchedule sched(16);
+  // Every grid node (x, t) maps to rotated (u, w) = (x+t, t−x+n−1) and back.
+  for (std::int64_t x = 0; x < 16; ++x) {
+    for (std::int64_t t = 0; t < 16; ++t) {
+      const std::int64_t u = x + t;
+      const std::int64_t w = t - x + 15;
+      EXPECT_TRUE(sched.node_valid(u, w));
+      EXPECT_EQ(sched.node_x(u, w), x);
+      EXPECT_EQ(sched.node_t(u, w), t);
+    }
+  }
+  // Cells outside the center diamond are invalid.
+  EXPECT_FALSE(sched.node_valid(0, 0));    // parity
+  EXPECT_FALSE(sched.node_valid(0, 1));    // x < 0... (0,1): x=7, t=-7
+  EXPECT_FALSE(sched.node_valid(-1, 2));
+  EXPECT_FALSE(sched.node_valid(31, 2));
+}
+
+TEST(DiamondGeometry, NodeCountMatchesGrid) {
+  const DiamondSchedule sched(32);
+  std::uint64_t count = 0;
+  for (std::int64_t u = 0; u <= 62; ++u) {
+    for (std::int64_t w = 0; w <= 62; ++w) {
+      if (sched.node_valid(u, w)) ++count;
+    }
+  }
+  EXPECT_EQ(count, 32u * 32u);
+}
+
+TEST(DiamondGeometry, StepCountsMatchFormula) {
+  const DiamondSchedule sched(64, 4);  // radices 4,4,4 -> spans 7,7,7
+  EXPECT_EQ(sched.leaf_steps(), 7u * 7u * 7u);
+  EXPECT_EQ(sched.total_steps(), 7u + 49u + 343u);
+  std::uint64_t visited = 0;
+  sched.for_each_step([&](const DiamondSchedule::Step&) { ++visited; });
+  EXPECT_EQ(visited, sched.total_steps());
+}
+
+TEST(DiamondGeometry, BoundaryTransfersOnlyAtInputSteps) {
+  const DiamondSchedule sched(64);
+  sched.for_each_step([&](const DiamondSchedule::Step& step) {
+    if (step.is_leaf(sched)) {
+      EXPECT_THROW((void)sched.boundary_transfers(step),
+                   std::invalid_argument);
+    } else {
+      EXPECT_NO_THROW((void)sched.boundary_transfers(step));
+    }
+  });
+}
+
+TEST(DiamondGeometry, FirstPhaseShipsNothing) {
+  // ph_i = 0 stripes read only external inputs (already resident).
+  const DiamondSchedule sched(256);
+  sched.for_each_step([&](const DiamondSchedule::Step& step) {
+    if (!step.is_leaf(sched) && step.prefix.back() == 0) {
+      EXPECT_TRUE(sched.boundary_transfers(step).empty());
+    }
+  });
+}
+
+TEST(DiamondGeometry, LeafDigitsRoundTrip) {
+  const DiamondSchedule sched(256);  // radices 8, 8, 4
+  for (const std::uint64_t coord : {0u, 7u, 31u, 100u, 255u}) {
+    const auto digits = sched.leaf_digits(coord);
+    std::uint64_t rebuilt = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      rebuilt = rebuilt * sched.radices()[i] + digits[i];
+    }
+    EXPECT_EQ(rebuilt, coord);
+  }
+}
+
+}  // namespace
+}  // namespace nobl

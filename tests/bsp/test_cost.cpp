@@ -1,0 +1,100 @@
+#include "bsp/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+
+namespace nobl {
+namespace {
+
+// A small deterministic workload: on M(8), one 0-superstep where each VP r
+// sends one message to r XOR 4 (crossing every fold), then one 1-superstep
+// where r sends to r XOR 2 (crossing folds >= 2), then a 2-superstep
+// (crossing only the finest fold).
+Trace butterfly_trace() {
+  Machine<int> m(8);
+  m.superstep(0, [](Vp<int>& vp) { vp.send(vp.id() ^ 4, 1); });
+  m.superstep(1, [](Vp<int>& vp) { vp.send(vp.id() ^ 2, 1); });
+  m.superstep(2, [](Vp<int>& vp) { vp.send(vp.id() ^ 1, 1); });
+  return m.trace();
+}
+
+TEST(Cost, CommunicationComplexityEquationOne) {
+  const Trace t = butterfly_trace();
+  // At fold p = 8 each superstep is a 1-relation; all three labels < 3.
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 3, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 3, 10.0), 33.0);
+  // At fold p = 2 only the 0-superstep is nonlocal: 4 VPs per processor each
+  // sending one crossing message -> degree 4; supersteps with label >= 1 are
+  // local and contribute neither degree nor sigma.
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 1, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 1, 5.0), 9.0);
+  // At fold p = 4: labels 0 and 1 count, each a 2-relation.
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 2, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(communication_complexity(t, 2, 3.0), 10.0);
+}
+
+TEST(Cost, CommunicationComplexityValidatesFold) {
+  const Trace t = butterfly_trace();
+  EXPECT_THROW((void)communication_complexity(t, 4, 0.0), std::out_of_range);
+}
+
+TEST(Cost, CommunicationTimeEquationTwo) {
+  const Trace t = butterfly_trace();
+  DbspParams params;
+  params.name = "test";
+  params.g = {4.0, 2.0, 1.0};
+  params.ell = {40.0, 10.0, 1.0};
+  // label 0: degree at p=8 is 1, g_0 = 4, ell_0 = 40 -> 44
+  // label 1: 1*2 + 10 -> 12; label 2: 1*1 + 1 -> 2.
+  EXPECT_DOUBLE_EQ(communication_time(t, params), 58.0);
+  const auto by_level = communication_time_by_level(t, params);
+  ASSERT_EQ(by_level.size(), 3u);
+  EXPECT_DOUBLE_EQ(by_level[0], 44.0);
+  EXPECT_DOUBLE_EQ(by_level[1], 12.0);
+  EXPECT_DOUBLE_EQ(by_level[2], 2.0);
+}
+
+TEST(Cost, CommunicationTimeUsesFoldedDegrees) {
+  const Trace t = butterfly_trace();
+  DbspParams params;
+  params.name = "p4";
+  params.g = {1.0, 1.0};
+  params.ell = {0.0, 0.0};
+  // Fold p = 4: label-0 superstep is a 2-relation, label-1 a 2-relation,
+  // label-2 local (dropped).
+  EXPECT_DOUBLE_EQ(communication_time(t, params), 4.0);
+}
+
+TEST(Cost, CommunicationTimeValidatesShape) {
+  const Trace t = butterfly_trace();
+  DbspParams bad;
+  bad.g = {1.0, 1.0};
+  bad.ell = {1.0};
+  EXPECT_THROW((void)communication_time(t, bad), std::invalid_argument);
+}
+
+TEST(Cost, MonotoneCheck) {
+  DbspParams ok;
+  ok.g = {4.0, 2.0, 1.0};
+  ok.ell = {40.0, 10.0, 1.0};
+  EXPECT_TRUE(ok.monotone());
+  DbspParams bad_g = ok;
+  bad_g.g = {1.0, 2.0, 1.0};
+  EXPECT_FALSE(bad_g.monotone());
+  DbspParams bad_ratio = ok;
+  bad_ratio.ell = {1.0, 10.0, 1.0};  // ell/g increases from level 0 to 1
+  EXPECT_FALSE(bad_ratio.monotone());
+}
+
+TEST(Cost, MaxEllOverG) {
+  DbspParams params;
+  params.g = {4.0, 2.0};
+  params.ell = {40.0, 10.0};
+  EXPECT_DOUBLE_EQ(params.max_ell_over_g(), 10.0);
+  EXPECT_EQ(params.p(), 4u);
+  EXPECT_EQ(params.log_p(), 2u);
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,277 @@
+#include "bsp/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace nobl {
+namespace {
+
+TEST(Machine, RequiresPowerOfTwo) {
+  EXPECT_THROW(Machine<int>(3), std::invalid_argument);
+  EXPECT_NO_THROW(Machine<int>(1));
+  EXPECT_NO_THROW(Machine<int>(8));
+}
+
+TEST(Machine, MessagesDeliveredNextSuperstep) {
+  Machine<int> m(4);
+  m.superstep(0, [](Vp<int>& vp) {
+    EXPECT_TRUE(vp.inbox().empty());
+    vp.send((vp.id() + 1) % 4, static_cast<int>(vp.id()));
+  });
+  std::vector<int> got(4, -1);
+  m.superstep(0, [&](Vp<int>& vp) {
+    ASSERT_EQ(vp.inbox().size(), 1u);
+    got[vp.id()] = vp.inbox()[0].data;
+    EXPECT_EQ(vp.inbox()[0].src, (vp.id() + 3) % 4);
+  });
+  EXPECT_EQ(got, (std::vector<int>{3, 0, 1, 2}));
+}
+
+TEST(Machine, DeliveryOrderIsSenderIndexOrder) {
+  Machine<int> m(4);
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() != 0) vp.send(0, static_cast<int>(vp.id()));
+  });
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) {
+      ASSERT_EQ(vp.inbox().size(), 3u);
+      EXPECT_EQ(vp.inbox()[0].data, 1);
+      EXPECT_EQ(vp.inbox()[1].data, 2);
+      EXPECT_EQ(vp.inbox()[2].data, 3);
+    }
+  });
+}
+
+TEST(Machine, ClusterContainmentEnforced) {
+  Machine<int> m(8);
+  // In a 1-superstep, VP 0 (cluster 0xx) may not message VP 4 (cluster 1xx).
+  EXPECT_THROW(m.superstep(1,
+                           [](Vp<int>& vp) {
+                             if (vp.id() == 0) vp.send(4, 1);
+                           }),
+               ClusterViolation);
+}
+
+TEST(Machine, ClusterContainmentAllowsInsideCluster) {
+  Machine<int> m(8);
+  EXPECT_NO_THROW(m.superstep(1, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send(3, 1);  // 0b000 -> 0b011, same 1-cluster
+  }));
+  EXPECT_NO_THROW(m.superstep(2, [](Vp<int>& vp) {
+    if (vp.id() == 6) vp.send(7, 1);  // 0b110 -> 0b111, same 2-cluster
+  }));
+}
+
+TEST(Machine, ZeroSuperstepAllowsAnyPair) {
+  Machine<int> m(8);
+  EXPECT_NO_THROW(m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send(7, 42);
+  }));
+}
+
+TEST(Machine, LabelRangeValidated) {
+  Machine<int> m(8);  // labels 0..2 valid
+  EXPECT_THROW(m.superstep(3, [](Vp<int>&) {}), std::invalid_argument);
+  Machine<int> unit(1);  // label 0 permitted as pure local computation
+  EXPECT_NO_THROW(unit.superstep(0, [](Vp<int>&) {}));
+}
+
+TEST(Machine, DestinationRangeValidated) {
+  Machine<int> m(4);
+  EXPECT_THROW(m.superstep(0,
+                           [](Vp<int>& vp) {
+                             if (vp.id() == 0) vp.send(4, 1);
+                           }),
+               std::out_of_range);
+}
+
+TEST(Machine, DegreeCountsCrossProcessorOnly) {
+  Machine<int> m(4);
+  // VP 0 -> VP 1: crosses at fold p=4 (procs {0},{1}) and p=2? 0 and 1 share
+  // the top bit (both in 0x), so at p=2 it is internal.
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send(1, 1);
+  });
+  const auto& rec = m.trace().steps().back();
+  EXPECT_EQ(rec.degree[0], 0u);
+  EXPECT_EQ(rec.degree[1], 0u);  // same half
+  EXPECT_EQ(rec.degree[2], 1u);  // different VPs
+}
+
+TEST(Machine, DegreeIsMaxOverProcessors) {
+  Machine<int> m(4);
+  // VP 0 sends 3 messages to VP 2; VP 1 sends 1 message to VP 3.
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) {
+      vp.send(2, 1);
+      vp.send(2, 2);
+      vp.send(2, 3);
+    }
+    if (vp.id() == 1) vp.send(3, 4);
+  });
+  const auto& rec = m.trace().steps().back();
+  // Fold p=2: proc 0 = {0,1} sends 4, proc 1 = {2,3} receives 4 -> degree 4.
+  EXPECT_EQ(rec.degree[1], 4u);
+  // Fold p=4: VP0 sends 3, VP2 receives 3 -> degree 3.
+  EXPECT_EQ(rec.degree[2], 3u);
+}
+
+TEST(Machine, SelfMessagesAreLocalEverywhere) {
+  Machine<int> m(4);
+  m.superstep(0, [](Vp<int>& vp) { vp.send(vp.id(), 9); });
+  const auto& rec = m.trace().steps().back();
+  EXPECT_EQ(rec.degree[1], 0u);
+  EXPECT_EQ(rec.degree[2], 0u);
+  EXPECT_EQ(rec.messages, 4u);
+  // Still delivered.
+  m.superstep(0, [](Vp<int>& vp) {
+    ASSERT_EQ(vp.inbox().size(), 1u);
+    EXPECT_EQ(vp.inbox()[0].data, 9);
+  });
+}
+
+TEST(Machine, DummyMessagesCountButAreNotDelivered) {
+  Machine<int> m(4);
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send_dummy(2, 5);
+  });
+  const auto& rec = m.trace().steps().back();
+  EXPECT_EQ(rec.degree[1], 5u);
+  EXPECT_EQ(rec.degree[2], 5u);
+  EXPECT_EQ(rec.messages, 5u);
+  m.superstep(0, [](Vp<int>& vp) { EXPECT_TRUE(vp.inbox().empty()); });
+}
+
+TEST(Machine, DummyMessagesRespectClusters) {
+  Machine<int> m(8);
+  EXPECT_THROW(m.superstep(2,
+                           [](Vp<int>& vp) {
+                             if (vp.id() == 0) vp.send_dummy(2, 1);
+                           }),
+               ClusterViolation);
+}
+
+TEST(Machine, SuperstepRangeRunsSubsetOnly) {
+  Machine<int> m(8);
+  std::vector<int> ran(8, 0);
+  m.superstep_range(0, 2, 5, [&](Vp<int>& vp) { ran[vp.id()] = 1; });
+  EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0), 3);
+  EXPECT_EQ(ran[2] + ran[3] + ran[4], 3);
+}
+
+TEST(Machine, TraceAccumulatesSupersteps) {
+  Machine<int> m(8);
+  m.superstep(0, [](Vp<int>&) {});
+  m.superstep(1, [](Vp<int>&) {});
+  m.superstep(1, [](Vp<int>&) {});
+  EXPECT_EQ(m.trace().supersteps(), 3u);
+  EXPECT_EQ(m.trace().S(0), 1u);
+  EXPECT_EQ(m.trace().S(1), 2u);
+  EXPECT_EQ(m.trace().S(2), 0u);
+}
+
+TEST(Machine, InboxAccessorAfterRun) {
+  Machine<int> m(2);
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 1) vp.send(0, 77);
+  });
+  ASSERT_EQ(m.inbox(0).size(), 1u);
+  EXPECT_EQ(m.inbox(0)[0].data, 77);
+  EXPECT_TRUE(m.inbox(1).empty());
+  EXPECT_THROW((void)m.inbox(2), std::out_of_range);
+}
+
+TEST(Machine, MovableOnlyPayload) {
+  Machine<std::vector<int>> m(2);
+  m.superstep(0, [](Vp<std::vector<int>>& vp) {
+    if (vp.id() == 0) vp.send(1, std::vector<int>{1, 2, 3});
+  });
+  m.superstep(0, [](Vp<std::vector<int>>& vp) {
+    if (vp.id() == 1) {
+      ASSERT_EQ(vp.inbox().size(), 1u);
+      EXPECT_EQ(vp.inbox()[0].data.size(), 3u);
+    }
+  });
+}
+
+TEST(Machine, PeakInboxAudit) {
+  Machine<int> m(4);
+  EXPECT_EQ(m.peak_inbox_messages(), 0u);
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() != 3) vp.send(3, 1);  // VP 3 receives 3 messages
+  });
+  EXPECT_EQ(m.peak_inbox_messages(), 3u);
+  m.superstep(0, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send(1, 1);
+  });
+  EXPECT_EQ(m.peak_inbox_messages(), 3u);  // peak is sticky
+  // Dummies are never delivered and do not count toward buffer space.
+  Machine<int> d(4);
+  d.superstep(0, [](Vp<int>& vp) { vp.send_dummy(vp.id() ^ 2, 10); });
+  EXPECT_EQ(d.peak_inbox_messages(), 0u);
+}
+
+TEST(Machine, SuperstepSparseRunsListedVpsOnly) {
+  Machine<int> m(8);
+  std::vector<int> ran(8, 0);
+  const std::vector<std::uint64_t> active{1, 4, 6};
+  m.superstep_sparse(0, active, [&](Vp<int>& vp) { ran[vp.id()] = 1; });
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 0, 0, 1, 0, 1, 0}));
+}
+
+TEST(Machine, SuperstepSparseValidatesOrder) {
+  Machine<int> m(8);
+  const std::vector<std::uint64_t> unsorted{4, 1};
+  EXPECT_THROW(m.superstep_sparse(0, unsorted, [](Vp<int>&) {}),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> duplicate{3, 3};
+  EXPECT_THROW(m.superstep_sparse(0, duplicate, [](Vp<int>&) {}),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> range{9};
+  EXPECT_THROW(m.superstep_sparse(0, range, [](Vp<int>&) {}),
+               std::invalid_argument);
+  // The machine recovers after a rejected sparse superstep.
+  EXPECT_NO_THROW(m.superstep(0, [](Vp<int>&) {}));
+}
+
+TEST(Machine, SuperstepSparseDeliversAndCounts) {
+  Machine<int> m(8);
+  const std::vector<std::uint64_t> active{0, 7};
+  m.superstep_sparse(0, active, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send(7, 5);
+  });
+  EXPECT_EQ(m.trace().steps().back().degree[3], 1u);
+  ASSERT_EQ(m.inbox(7).size(), 1u);
+  EXPECT_EQ(m.inbox(7)[0].data, 5);
+}
+
+// Folding invariant (the engine-level form of Lemma 3.1): for a random
+// communication pattern, the degree at a finer fold is at least the degree at
+// a coarser fold divided by the folding factor.
+class MachineFoldingSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MachineFoldingSweep, DegreesConsistentAcrossFolds) {
+  const unsigned log_v = GetParam();
+  const std::uint64_t v = 1ULL << log_v;
+  Machine<int> m(v);
+  m.superstep(0, [&](Vp<int>& vp) {
+    // Deterministic pseudo-random pattern: VP r sends to (r*5+3) mod v.
+    vp.send((vp.id() * 5 + 3) % v, 1);
+  });
+  const auto& rec = m.trace().steps().back();
+  for (unsigned j = 1; j < log_v; ++j) {
+    // Messages crossing at fold j also cross at any finer fold j' > j, and a
+    // 2^{j'}-processor covers a subset of a 2^j-processor, hence:
+    EXPECT_LE(rec.degree[j], rec.degree[j + 1] * 2)
+        << "fold " << j;
+    EXPECT_LE(rec.degree[j], rec.degree[log_v] * (v >> j)) << "fold " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MachineFoldingSweep,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace nobl

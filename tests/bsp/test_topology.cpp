@@ -1,0 +1,91 @@
+#include "bsp/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nobl {
+namespace {
+
+TEST(Topology, MeshShapes) {
+  const auto params = topology::mesh(64, 2);
+  ASSERT_EQ(params.log_p(), 6u);
+  // Level 0 cluster = 64 processors -> side 8; level 2 -> 16 procs, side 4.
+  EXPECT_DOUBLE_EQ(params.g[0], 8.0);
+  EXPECT_DOUBLE_EQ(params.g[2], 4.0);
+  EXPECT_DOUBLE_EQ(params.ell[0], 16.0);
+  EXPECT_TRUE(params.monotone());
+}
+
+TEST(Topology, LinearArrayIsOneDimensionalMesh) {
+  const auto arr = topology::linear_array(16);
+  EXPECT_DOUBLE_EQ(arr.g[0], 16.0);
+  EXPECT_DOUBLE_EQ(arr.g[3], 2.0);
+  EXPECT_TRUE(arr.monotone());
+}
+
+TEST(Topology, HypercubeConstantGap) {
+  const auto params = topology::hypercube(32);
+  for (const double g : params.g) EXPECT_DOUBLE_EQ(g, 1.0);
+  EXPECT_DOUBLE_EQ(params.ell[0], 5.0);
+  EXPECT_DOUBLE_EQ(params.ell[4], 1.0);
+  EXPECT_TRUE(params.monotone());
+}
+
+TEST(Topology, UniformBsp) {
+  const auto params = topology::uniform(8, 2.0, 7.0);
+  for (const double g : params.g) EXPECT_DOUBLE_EQ(g, 2.0);
+  for (const double l : params.ell) EXPECT_DOUBLE_EQ(l, 7.0);
+  EXPECT_TRUE(params.monotone());
+}
+
+TEST(Topology, GeometricValidation) {
+  EXPECT_NO_THROW(topology::geometric(16, 8.0, 0.75, 64.0, 0.5));
+  // rl > rg would make ell/g increase.
+  EXPECT_THROW(topology::geometric(16, 8.0, 0.5, 64.0, 0.75),
+               std::invalid_argument);
+  EXPECT_THROW(topology::geometric(16, 8.0, 1.5, 64.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Topology, GeometricDecay) {
+  const auto params = topology::geometric(8, 8.0, 0.5, 32.0, 0.25);
+  EXPECT_DOUBLE_EQ(params.g[0], 8.0);
+  EXPECT_DOUBLE_EQ(params.g[1], 4.0);
+  EXPECT_DOUBLE_EQ(params.g[2], 2.0);
+  EXPECT_DOUBLE_EQ(params.ell[1], 8.0);
+  EXPECT_TRUE(params.monotone());
+}
+
+TEST(Topology, RejectsBadP) {
+  EXPECT_THROW(topology::mesh(0, 2), std::invalid_argument);
+  EXPECT_THROW(topology::mesh(1, 2), std::invalid_argument);
+  EXPECT_THROW(topology::mesh(6, 2), std::invalid_argument);
+  EXPECT_THROW(topology::mesh(8, 0), std::invalid_argument);
+}
+
+TEST(Topology, StandardSuiteAllMonotone) {
+  for (const auto& params : topology::standard_suite(64)) {
+    EXPECT_TRUE(params.monotone()) << params.name;
+    EXPECT_EQ(params.p(), 64u) << params.name;
+    EXPECT_FALSE(params.name.empty());
+  }
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologySweep, AllFamiliesSatisfyTheorem34Hypotheses) {
+  const std::uint64_t p = GetParam();
+  for (unsigned d = 1; d <= 3; ++d) {
+    EXPECT_TRUE(topology::mesh(p, d).monotone());
+  }
+  EXPECT_TRUE(topology::hypercube(p).monotone());
+  EXPECT_TRUE(topology::fat_tree(p).monotone());
+  EXPECT_TRUE(topology::uniform(p).monotone());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySweep,
+                         ::testing::Values(2u, 4u, 16u, 256u, 4096u));
+
+}  // namespace
+}  // namespace nobl

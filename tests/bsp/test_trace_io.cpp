@@ -1,0 +1,88 @@
+#include "bsp/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bsp/cost.hpp"
+#include "bsp/machine.hpp"
+
+namespace nobl {
+namespace {
+
+Trace sample_trace() {
+  Machine<int> m(8);
+  m.superstep(0, [](Vp<int>& vp) { vp.send(vp.id() ^ 4, 1); });
+  m.superstep(1, [](Vp<int>& vp) { vp.send(vp.id() ^ 2, 1); });
+  m.superstep(2, [](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send_dummy(1, 3);
+  });
+  return m.trace();
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const Trace restored = read_trace_csv(ss);
+  ASSERT_EQ(restored.log_v(), original.log_v());
+  ASSERT_EQ(restored.supersteps(), original.supersteps());
+  for (std::size_t i = 0; i < original.steps().size(); ++i) {
+    EXPECT_EQ(restored.steps()[i].label, original.steps()[i].label);
+    EXPECT_EQ(restored.steps()[i].messages, original.steps()[i].messages);
+    EXPECT_EQ(restored.steps()[i].degree, original.steps()[i].degree);
+  }
+  // All derived metrics agree.
+  for (unsigned log_p = 1; log_p <= 3; ++log_p) {
+    EXPECT_DOUBLE_EQ(communication_complexity(restored, log_p, 2.5),
+                     communication_complexity(original, log_p, 2.5));
+  }
+}
+
+TEST(TraceIo, FormatIsStable) {
+  Trace t(1);
+  SuperstepRecord r;
+  r.label = 0;
+  r.messages = 5;
+  r.degree = {0, 3};
+  t.append(std::move(r));
+  std::stringstream ss;
+  write_trace_csv(ss, t);
+  EXPECT_EQ(ss.str(), "log_v,1\n0,5,0,3\n");
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("nonsense,3\n");
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("log_v,2\n0,1,0\n");  // too few degree fields
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("log_v,2\n0,1,0,x,1\n");  // non-numeric
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("log_v,2\n5,1,0,1,1\n");  // label out of range
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("log_v,2\n0,1,7,1,1\n");  // degree[0] != 0
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream ss("log_v,1\n\n0,1,0,1\n\n");
+  const Trace t = read_trace_csv(ss);
+  EXPECT_EQ(t.supersteps(), 1u);
+}
+
+}  // namespace
+}  // namespace nobl

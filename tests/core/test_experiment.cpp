@@ -1,0 +1,85 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bsp/machine.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace nobl {
+namespace {
+
+AlgoRun butterfly_run(unsigned log_v) {
+  Machine<int> m(1ULL << log_v);
+  for (unsigned i = 0; i < log_v; ++i) {
+    m.superstep(i, [&](Vp<int>& vp) {
+      vp.send(vp.id() ^ (1ULL << (log_v - 1 - i)), 1);
+    });
+  }
+  return AlgoRun{m.v(), m.trace()};
+}
+
+TEST(Experiment, SigmaGridDistinctSorted) {
+  const auto grid = sigma_grid(1024, 16);
+  ASSERT_GE(grid.size(), 3u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(grid.back(), 64.0);  // n/p
+}
+
+TEST(Experiment, SigmaGridDegeneratesGracefully) {
+  const auto grid = sigma_grid(4, 4);  // n/p = 1: {0, 1}
+  EXPECT_EQ(grid.size(), 2u);
+}
+
+TEST(Experiment, Pow2Range) {
+  const auto ps = pow2_range(16);
+  EXPECT_EQ(ps, (std::vector<std::uint64_t>{2, 4, 8, 16}));
+  EXPECT_TRUE(pow2_range(1).empty());
+}
+
+TEST(Experiment, HTableCoversSweep) {
+  const std::vector<AlgoRun> runs{butterfly_run(3)};
+  const auto identity = [](std::uint64_t n, std::uint64_t p, double sigma) {
+    return static_cast<double>(n) / static_cast<double>(p) + sigma;
+  };
+  const Table t = h_table("t", runs, identity, identity);
+  // 3 folds x >= 2 sigma values each.
+  EXPECT_GE(t.rows(), 6u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("meas/LB"), std::string::npos);
+}
+
+TEST(Experiment, WisenessTableReportsUnitAlphaForButterfly) {
+  const std::vector<AlgoRun> runs{butterfly_run(3)};
+  const Table t = wiseness_table("w", runs);
+  EXPECT_EQ(t.rows(), 3u);
+  std::ostringstream os;
+  t.print_csv(os);
+  // Every alpha cell is exactly 1 for the balanced butterfly.
+  EXPECT_NE(os.str().find(",1,"), std::string::npos);
+}
+
+TEST(Experiment, DbspTableUsesStandardSuite) {
+  const std::vector<AlgoRun> runs{butterfly_run(4)};
+  const auto lower = [](std::uint64_t n, std::uint64_t p, double) {
+    return static_cast<double>(n) / static_cast<double>(p);
+  };
+  const Table t = dbsp_table("d", runs, 16, lower);
+  EXPECT_EQ(t.rows(), 7u);  // one per suite topology
+}
+
+TEST(Experiment, SuperstepCensusSkipsEmptyLabels) {
+  Machine<int> m(8);
+  m.superstep(0, [](Vp<int>& vp) { vp.send(vp.id() ^ 4, 1); });
+  m.superstep(2, [](Vp<int>& vp) { vp.send(vp.id() ^ 1, 1); });
+  const Table t = superstep_census("c", AlgoRun{8, m.trace()});
+  EXPECT_EQ(t.rows(), 2u);  // label 1 unused
+}
+
+}  // namespace
+}  // namespace nobl

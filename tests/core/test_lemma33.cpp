@@ -1,0 +1,96 @@
+// Property tests for Lemma 3.3, the rearrangement-style inequality at the
+// heart of the optimality theorem's proof:
+//
+//   If prefix sums satisfy Σ_{i<k} X_i <= Σ_{i<k} Y_i for all k <= m, and
+//   f_0 >= f_1 >= ... >= f_{m-1} >= 0, then Σ X_i f_i <= Σ Y_i f_i.
+//
+// We verify the inequality on randomized instances, and verify that both of
+// its hypotheses are necessary by constructing counterexamples when either
+// is dropped.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nobl {
+namespace {
+
+double weighted_sum(const std::vector<double>& xs,
+                    const std::vector<double>& fs) {
+  double sum = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) sum += xs[i] * fs[i];
+  return sum;
+}
+
+bool prefix_dominated(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  double px = 0, py = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    px += xs[i];
+    py += ys[i];
+    if (px > py + 1e-12) return false;
+  }
+  return true;
+}
+
+class Lemma33Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma33Sweep, InequalityHoldsOnRandomInstances) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = 1 + rng.below(12);
+    // Construct X dominated by Y prefix-wise: take random Y, subtract an
+    // arbitrary nonnegative slack from each of its prefix sums, and read X
+    // back off the adjusted prefixes. The lemma places no other restriction
+    // on the sequences (entries may be negative).
+    std::vector<double> ys(m), xs(m), fs(m);
+    for (auto& y : ys) y = rng.unit() * 10 - 2;
+    double prefix_x_prev = 0, prefix_y = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      prefix_y += ys[i];
+      const double prefix_x = prefix_y - rng.unit() * 3;  // slack >= 0
+      xs[i] = prefix_x - prefix_x_prev;
+      prefix_x_prev = prefix_x;
+    }
+    ASSERT_TRUE(prefix_dominated(xs, ys));
+    // Non-increasing nonnegative weights.
+    for (auto& f : fs) f = rng.unit() * 5;
+    std::sort(fs.rbegin(), fs.rend());
+    EXPECT_LE(weighted_sum(xs, fs), weighted_sum(ys, fs) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma33Sweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Lemma33, TightWhenWeightsConstant) {
+  // With f_i = c the inequality reduces to the k = m prefix hypothesis.
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{2, 2, 2};
+  const std::vector<double> fs{2, 2, 2};
+  ASSERT_TRUE(prefix_dominated(xs, ys));
+  EXPECT_LE(weighted_sum(xs, fs), weighted_sum(ys, fs));
+}
+
+TEST(Lemma33, FailsWithoutMonotoneWeights) {
+  // X prefix-dominated by Y, but increasing weights flip the conclusion.
+  const std::vector<double> xs{0, 10};
+  const std::vector<double> ys{10, 0};
+  ASSERT_TRUE(prefix_dominated(xs, ys));
+  const std::vector<double> increasing{0, 1};
+  EXPECT_GT(weighted_sum(xs, increasing), weighted_sum(ys, increasing));
+}
+
+TEST(Lemma33, FailsWithoutPrefixDomination) {
+  // Total sums equal, but an early prefix violates domination.
+  const std::vector<double> xs{10, 0};
+  const std::vector<double> ys{0, 10};
+  ASSERT_FALSE(prefix_dominated(xs, ys));
+  const std::vector<double> fs{1, 0};
+  EXPECT_GT(weighted_sum(xs, fs), weighted_sum(ys, fs));
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,88 @@
+#include "core/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nobl {
+namespace {
+
+TEST(LowerBounds, MatmulShape) {
+  // Lemma 4.1: n/p^{2/3} + sigma.
+  EXPECT_DOUBLE_EQ(lb::matmul(4096, 8, 0.0), 1024.0);
+  EXPECT_DOUBLE_EQ(lb::matmul(4096, 8, 3.0), 1027.0);
+  // Halving work per 8x processors: p^{2/3} scaling.
+  EXPECT_NEAR(lb::matmul(4096, 64, 0.0), 256.0, 1e-9);
+  EXPECT_THROW((void)lb::matmul(4096, 1, 0.0), std::invalid_argument);
+}
+
+TEST(LowerBounds, MatmulSpaceShape) {
+  EXPECT_DOUBLE_EQ(lb::matmul_space(4096, 16, 0.0), 1024.0);
+  EXPECT_DOUBLE_EQ(lb::matmul_space(4096, 64, 2.0), 514.0);
+}
+
+TEST(LowerBounds, FftAndSortCoincide) {
+  for (const std::uint64_t n : {64ULL, 1024ULL, 65536ULL}) {
+    for (const std::uint64_t p : {std::uint64_t{2}, std::uint64_t{16}, n / 2}) {
+      EXPECT_DOUBLE_EQ(lb::fft(n, p, 1.5), lb::sort(n, p, 1.5));
+    }
+  }
+}
+
+TEST(LowerBounds, FftValues) {
+  // n log n / (p log(n/p)) with the paper's log = max{1, log2}.
+  EXPECT_DOUBLE_EQ(lb::fft(1024, 32, 0.0), 1024.0 * 10 / (32 * 5));
+  // p = n makes log(n/p) clamp to 1 (footnote 1).
+  EXPECT_DOUBLE_EQ(lb::fft(1024, 1024, 0.0), 10.0);
+  EXPECT_THROW((void)lb::fft(1024, 2048, 0.0), std::invalid_argument);
+}
+
+TEST(LowerBounds, StencilShape) {
+  // d = 1: n / p^0 = n.
+  EXPECT_DOUBLE_EQ(lb::stencil(256, 1, 16, 0.0), 256.0);
+  // d = 2: n^2 / sqrt(p).
+  EXPECT_DOUBLE_EQ(lb::stencil(256, 2, 16, 0.0), 256.0 * 256.0 / 4.0);
+  EXPECT_THROW((void)lb::stencil(256, 0, 16, 0.0), std::invalid_argument);
+}
+
+TEST(LowerBounds, BroadcastSmallSigmaIsLogP) {
+  // For sigma <= 2 the bound is 2·log_2 p.
+  EXPECT_DOUBLE_EQ(lb::broadcast(1024, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(lb::broadcast(1024, 2.0), 20.0);
+}
+
+TEST(LowerBounds, BroadcastLargeSigma) {
+  // sigma = 32: 32·log_32 1024 = 32·2 = 64.
+  EXPECT_DOUBLE_EQ(lb::broadcast(1024, 32.0), 64.0);
+  // sigma beyond p: bound degenerates to one superstep costing sigma.
+  EXPECT_DOUBLE_EQ(lb::broadcast(16, 4096.0), 4096.0);
+}
+
+TEST(LowerBounds, BroadcastDecreasingRoundsTradeoff) {
+  // Eq. (7): the t-round cost expression is minimized near
+  // t = log_{max{2,sigma}} p; check convexity around the optimum.
+  const std::uint64_t p = 4096;
+  const double sigma = 8.0;
+  const double opt = std::log2(static_cast<double>(p)) / std::log2(sigma);
+  const double at_opt = lb::broadcast_cost_at_rounds(opt, p, sigma);
+  EXPECT_LT(at_opt, lb::broadcast_cost_at_rounds(opt * 3, p, sigma));
+  EXPECT_LT(at_opt, lb::broadcast_cost_at_rounds(1.0, p, sigma));
+}
+
+TEST(LowerBounds, BroadcastGapGrowsWithSigmaTwo) {
+  const double small = lb::broadcast_gap(0.0, 16.0);
+  const double large = lb::broadcast_gap(0.0, 65536.0);
+  EXPECT_GT(large, small);
+  EXPECT_THROW((void)lb::broadcast_gap(8.0, 4.0), std::invalid_argument);
+}
+
+TEST(LowerBounds, MonotoneInSigma) {
+  for (double sigma = 0; sigma <= 64; sigma += 8) {
+    EXPECT_LE(lb::matmul(4096, 8, sigma), lb::matmul(4096, 8, sigma + 8));
+    EXPECT_LE(lb::fft(4096, 8, sigma), lb::fft(4096, 8, sigma + 8));
+    EXPECT_LE(lb::broadcast(4096, sigma), lb::broadcast(4096, sigma + 8) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nobl

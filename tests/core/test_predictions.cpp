@@ -1,0 +1,102 @@
+#include "core/predictions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lower_bounds.hpp"
+
+namespace nobl {
+namespace {
+
+TEST(Predictions, MatmulShape) {
+  // Theorem 4.2: n/p^{2/3} + sigma·log p.
+  EXPECT_DOUBLE_EQ(predict::matmul(4096, 64, 0.0), 256.0);
+  EXPECT_DOUBLE_EQ(predict::matmul(4096, 64, 2.0), 268.0);
+}
+
+TEST(Predictions, MatmulMatchesLowerBoundAtSigmaZero) {
+  // Θ(1)-optimality: with unit constants the upper and lower forms coincide
+  // at sigma = 0.
+  for (const std::uint64_t p : {2ULL, 8ULL, 64ULL, 512ULL}) {
+    EXPECT_DOUBLE_EQ(predict::matmul(4096, p, 0.0), lb::matmul(4096, p, 0.0));
+  }
+}
+
+TEST(Predictions, MatmulSpace) {
+  EXPECT_DOUBLE_EQ(predict::matmul_space(4096, 64, 0.0), 512.0);
+  EXPECT_DOUBLE_EQ(predict::matmul_space(4096, 64, 2.0), 528.0);
+}
+
+TEST(Predictions, FftShape) {
+  // (n/p + sigma)·log n / log(n/p).
+  EXPECT_DOUBLE_EQ(predict::fft(1024, 32, 0.0), 32.0 * 10.0 / 5.0);
+  EXPECT_DOUBLE_EQ(predict::fft(1024, 32, 3.0), 35.0 * 2.0);
+}
+
+TEST(Predictions, SortExponent) {
+  // log_{3/2} 4 = ln 4 / ln 1.5.
+  EXPECT_NEAR(predict::sort_exponent(), 3.4190225827, 1e-8);
+}
+
+TEST(Predictions, SortDominatesFft) {
+  // (log n / log(n/p))^{log_{3/2}4} >= log n / log(n/p): sorting pays a
+  // polylog premium over FFT whenever p > sqrt-ish of n.
+  for (const std::uint64_t p : {2ULL, 16ULL, 256ULL}) {
+    EXPECT_GE(predict::sort(1024, p, 1.0), predict::fft(1024, p, 1.0) - 1e-9);
+  }
+}
+
+TEST(Predictions, StencilK) {
+  // k = 2^{ceil(sqrt(log n))}.
+  EXPECT_EQ(predict::stencil_k(16), 4u);      // sqrt(4) = 2
+  EXPECT_EQ(predict::stencil_k(4096), 16u);   // sqrt(12) -> ceil 4
+  EXPECT_EQ(predict::stencil_k(1 << 16), 16u);  // sqrt(16) = 4
+}
+
+TEST(Predictions, Stencil1ClosedFormDominatesLowerBound) {
+  for (const std::uint64_t n : {256ULL, 4096ULL, 65536ULL}) {
+    EXPECT_GT(predict::stencil1_closed(n), static_cast<double>(n));
+  }
+}
+
+TEST(Predictions, Stencil1RecurrenceBelowClosedForm) {
+  for (const std::uint64_t n : {256ULL, 4096ULL}) {
+    for (const std::uint64_t p : {std::uint64_t{2}, std::uint64_t{16}, n / 4}) {
+      EXPECT_LE(predict::stencil1(n, p, 0.0),
+                4.0 * predict::stencil1_closed(n));
+    }
+  }
+}
+
+TEST(Predictions, Stencil2Shape) {
+  const double value = predict::stencil2(256, 16, 0.0);
+  EXPECT_DOUBLE_EQ(value,
+                   256.0 * 256.0 / 4.0 *
+                       std::pow(8.0, std::sqrt(8.0)));
+}
+
+TEST(Predictions, BroadcastAwareEqualsTheoremBound) {
+  for (const double sigma : {0.0, 2.0, 16.0, 1024.0}) {
+    EXPECT_DOUBLE_EQ(predict::broadcast_aware(4096, sigma),
+                     lb::broadcast(4096, sigma));
+  }
+}
+
+TEST(Predictions, BroadcastObliviousBinaryTree) {
+  // kappa = 2: log2 p rounds of degree 1 plus sigma each.
+  EXPECT_DOUBLE_EQ(predict::broadcast_oblivious(1024, 0.0, 2), 10.0);
+  EXPECT_DOUBLE_EQ(predict::broadcast_oblivious(1024, 5.0, 2), 60.0);
+  // kappa = 32 on p = 1024: 2 rounds of degree 31 plus sigma.
+  EXPECT_DOUBLE_EQ(predict::broadcast_oblivious(1024, 5.0, 32), 72.0);
+}
+
+TEST(Predictions, ValidationThrows) {
+  EXPECT_THROW((void)predict::matmul(64, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)predict::fft(64, 128, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)predict::broadcast_oblivious(64, 0.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

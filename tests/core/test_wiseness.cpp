@@ -1,0 +1,124 @@
+#include "core/wiseness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+
+namespace nobl {
+namespace {
+
+// Perfectly balanced butterfly exchange: every VP sends one message across
+// every fold boundary in turn. This is the archetypal (Θ(1), p)-wise pattern.
+Trace balanced_trace(unsigned log_v) {
+  Machine<int> m(1ULL << log_v);
+  for (unsigned i = 0; i < log_v; ++i) {
+    m.superstep(i, [&](Vp<int>& vp) {
+      vp.send(vp.id() ^ (1ULL << (log_v - 1 - i)), 1);
+    });
+  }
+  return m.trace();
+}
+
+// The paper's Section-5 pathological pattern: a single 0-superstep where VP 0
+// sends `count` messages to VP v/2. (α, p)-wise only for α = O(1/p).
+Trace pathological_trace(unsigned log_v, std::uint64_t count) {
+  Machine<int> m(1ULL << log_v);
+  m.superstep(0, [&](Vp<int>& vp) {
+    if (vp.id() == 0) {
+      for (std::uint64_t k = 0; k < count; ++k) {
+        vp.send(1ULL << (log_v - 1), 1);
+      }
+    }
+  });
+  return m.trace();
+}
+
+TEST(Wiseness, BalancedPatternIsMaximallyWise) {
+  const Trace t = balanced_trace(4);
+  for (unsigned log_p = 1; log_p <= 4; ++log_p) {
+    EXPECT_DOUBLE_EQ(wiseness_alpha(t, log_p), 1.0) << "log_p=" << log_p;
+  }
+}
+
+TEST(Wiseness, PathologicalPatternHasVanishingAlpha) {
+  const unsigned log_v = 4;
+  const Trace t = pathological_trace(log_v, 64);
+  // Σ_{i<j} F^i(n,2^j) = 64 for every j (the single sender/receiver pair is
+  // split at every fold), while (p/2^j)·64 grows with p/2^j.
+  const double alpha = wiseness_alpha(t, log_v);
+  EXPECT_NEAR(alpha, 2.0 / 16.0, 1e-12);  // min at j = 1: (2^1/p)
+}
+
+TEST(Wiseness, AlphaNeverExceedsOne) {
+  // Lemma 3.1 forces alpha <= 1 for any simulator-produced trace.
+  for (unsigned log_v = 1; log_v <= 5; ++log_v) {
+    Machine<int> m(1ULL << log_v);
+    const std::uint64_t v = m.v();
+    m.superstep(0, [&](Vp<int>& vp) {
+      vp.send((vp.id() * 7 + 1) % v, 1);
+      if (vp.id() % 3 == 0) vp.send((vp.id() + v / 2) % v, 2);
+    });
+    for (unsigned log_p = 1; log_p <= log_v; ++log_p) {
+      EXPECT_LE(wiseness_alpha(m.trace(), log_p), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Wiseness, FullnessOfBalancedPattern) {
+  const Trace t = balanced_trace(4);
+  // At fold 2^j, the j supersteps with label < j each have degree 2^{4-j}...
+  // fullness gamma = min_j (2^j/p)·ΣF(2^j)/ΣS.
+  const double gamma = fullness_gamma(t, 4);
+  EXPECT_GT(gamma, 0.0);
+}
+
+TEST(Wiseness, PathologicalPatternIsFull) {
+  // Section 5: the VP0 -> VPn/2 pattern is (Θ(1),p)-full but not wise.
+  const unsigned log_v = 4;
+  const Trace t = pathological_trace(log_v, 1ULL << log_v);
+  const double gamma = fullness_gamma(t, log_v);
+  EXPECT_GE(gamma, 1.0);  // n messages vs p/2^j supersteps
+  EXPECT_LT(wiseness_alpha(t, log_v), 0.2);
+}
+
+TEST(Wiseness, FullnessZeroWithoutCommunication) {
+  Machine<int> m(8);
+  m.superstep(0, [](Vp<int>&) {});
+  EXPECT_DOUBLE_EQ(fullness_gamma(m.trace(), 3), 0.0);
+  EXPECT_DOUBLE_EQ(wiseness_alpha(m.trace(), 3), 1.0);  // vacuous
+}
+
+TEST(Wiseness, ValidatesRange) {
+  const Trace t = balanced_trace(3);
+  EXPECT_THROW((void)wiseness_alpha(t, 0), std::out_of_range);
+  EXPECT_THROW((void)wiseness_alpha(t, 4), std::out_of_range);
+  EXPECT_THROW((void)fullness_gamma(t, 4), std::out_of_range);
+}
+
+class FoldingInequalitySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FoldingInequalitySweep, HoldsForRandomPatterns) {
+  // Lemma 3.1 as a property test over pseudo-random multi-superstep traces.
+  const unsigned log_v = GetParam();
+  const std::uint64_t v = 1ULL << log_v;
+  Machine<int> m(v);
+  for (unsigned i = 0; i < log_v; ++i) {
+    const std::uint64_t cluster = v >> i;
+    m.superstep(i, [&](Vp<int>& vp) {
+      const std::uint64_t base = vp.id() & ~(cluster - 1);
+      const std::uint64_t dst = base + (vp.id() * 13 + i) % cluster;
+      vp.send(dst, 1);
+      if (vp.id() % 5 == 0) vp.send_dummy(base + (vp.id() + 1) % cluster, 3);
+    });
+  }
+  for (unsigned log_p = 1; log_p <= log_v; ++log_p) {
+    EXPECT_TRUE(folding_inequality_holds(m.trace(), log_p))
+        << "log_p=" << log_p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FoldingInequalitySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+}  // namespace
+}  // namespace nobl

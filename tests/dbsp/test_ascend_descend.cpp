@@ -1,0 +1,141 @@
+#include "dbsp/ascend_descend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "bsp/topology.hpp"
+#include "core/wiseness.hpp"
+
+namespace nobl {
+namespace {
+
+// Section 5's pathological algorithm: one 0-superstep, VP 0 sends `count`
+// messages to VP v/2. (Θ(1),p)-full, but (α,p)-wise only for α = O(1/p).
+Trace pathological(unsigned log_v, std::uint64_t count) {
+  Machine<int> m(1ULL << log_v);
+  m.superstep(0, [&](Vp<int>& vp) {
+    if (vp.id() == 0) vp.send_dummy(1ULL << (log_v - 1), count);
+  });
+  return m.trace();
+}
+
+Trace butterfly(unsigned log_v) {
+  Machine<int> m(1ULL << log_v);
+  for (unsigned i = 0; i < log_v; ++i) {
+    m.superstep(i, [&](Vp<int>& vp) {
+      vp.send(vp.id() ^ (1ULL << (log_v - 1 - i)), 1);
+    });
+  }
+  return m.trace();
+}
+
+TEST(AscendDescend, ValidatesLogP) {
+  const Trace t = butterfly(3);
+  EXPECT_THROW(ascend_descend_transform(t, 0), std::out_of_range);
+  EXPECT_THROW(ascend_descend_transform(t, 4), std::out_of_range);
+}
+
+TEST(AscendDescend, TransformedTraceLivesOnMp) {
+  const Trace t = butterfly(4);
+  const Trace out = ascend_descend_transform(t, 2);
+  EXPECT_EQ(out.log_v(), 2u);
+  EXPECT_GT(out.supersteps(), 0u);
+}
+
+TEST(AscendDescend, PureComputationKeepsOneBarrier) {
+  Machine<int> m(8);
+  m.superstep(1, [](Vp<int>&) {});
+  const Trace out = ascend_descend_transform(m.trace(), 3);
+  ASSERT_EQ(out.supersteps(), 1u);
+  EXPECT_EQ(out.steps()[0].label, 1u);
+  EXPECT_EQ(out.steps()[0].degree[3], 0u);
+}
+
+TEST(AscendDescend, SuperstepCountPerLemma51) {
+  // One 0-superstep with traffic at every fold on M(16), executed on p = 8:
+  // ascend k = 2..1, descend k = 0..2; each active k contributes
+  // 2(log p - k) prefix supersteps plus one data superstep.
+  const Trace t = pathological(4, 16);
+  const Trace out = ascend_descend_transform(t, 3);
+  std::uint64_t prefix = 0, data = 0;
+  for (const auto& s : out.steps()) {
+    // Prefix steps have unit per-processor degree by construction.
+    if (s.degree[3] == 1) {
+      ++prefix;
+    } else {
+      ++data;
+    }
+  }
+  // Ascend: k = 2 (2 prefix), k = 1 (4 prefix); descend: k = 0 (6), k = 1
+  // (4), k = 2 (2) -> 18 prefix; 5 data supersteps.
+  EXPECT_EQ(prefix, 18u);
+  EXPECT_EQ(data, 5u);
+}
+
+TEST(AscendDescend, TransformIsWise) {
+  // Theorem 5.3's key step: the transformed algorithm is (Θ(1), p)-wise.
+  for (const unsigned log_p : {2u, 3u, 4u}) {
+    const Trace out =
+        ascend_descend_transform(pathological(4, 256), log_p);
+    EXPECT_GE(wiseness_alpha(out, log_p), 0.5) << "log_p=" << log_p;
+  }
+}
+
+TEST(AscendDescend, RescuesPathologicalPatternOnDbsp) {
+  // Standard protocol pays n·g_0 for the n-message point-to-point pattern;
+  // ascend-descend pays ~2n per level on a linear array (degree n·2^k/p
+  // times gap p/2^k), i.e. O(n log p) total versus n·p — the improvement
+  // claimed at the opening of Section 5.
+  const unsigned log_v = 8;
+  const std::uint64_t n = 1ULL << 14;
+  const Trace t = pathological(log_v, n);
+  const auto params = topology::linear_array(256);
+  const double standard = communication_time(t, params);
+  const Trace transformed = ascend_descend_transform(t, 8);
+  const double improved = communication_time(transformed, params);
+  EXPECT_LT(improved, standard / 4.0);
+  EXPECT_GT(improved, 0.0);
+}
+
+TEST(AscendDescend, OverheadOnWiseAlgorithmsIsPolylog) {
+  // For an already-wise algorithm the protocol may only lose O(log^2 p).
+  const unsigned log_v = 6;
+  const Trace t = butterfly(log_v);
+  for (const unsigned log_p : {2u, 4u, 6u}) {
+    const auto params = topology::hypercube(1ULL << log_p);
+    const double standard = communication_time(t, params);
+    const double transformed =
+        communication_time(ascend_descend_transform(t, log_p), params);
+    const double lp = static_cast<double>(log_p);
+    EXPECT_LE(transformed, 16.0 * (1.0 + lp * lp) * standard)
+        << "log_p=" << log_p;
+  }
+}
+
+TEST(AscendDescend, PrefixFreeVariantIsCheaper) {
+  const Trace t = pathological(6, 64);
+  AscendDescendOptions no_prefix;
+  no_prefix.include_prefix = false;
+  const Trace with = ascend_descend_transform(t, 3);
+  const Trace without = ascend_descend_transform(t, 3, no_prefix);
+  EXPECT_LT(without.supersteps(), with.supersteps());
+  // Data supersteps agree: prefix only adds constant-degree steps.
+  EXPECT_EQ(without.total_F(3) + 18, with.total_F(3));
+}
+
+TEST(AscendDescend, DegreesScaleAcrossFolds) {
+  // A k-superstep of Ã with degree d at fold p has degree d·p/2^j at folds
+  // j in (k, log p]; coarser folds see proportionally aggregated traffic.
+  const Trace out = ascend_descend_transform(pathological(4, 64), 3);
+  for (const auto& s : out.steps()) {
+    for (unsigned j = s.label + 1; j < 3; ++j) {
+      EXPECT_EQ(s.degree[j], s.degree[j + 1] * 2);
+    }
+    for (unsigned j = 0; j <= s.label; ++j) {
+      EXPECT_EQ(s.degree[j], 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,154 @@
+// Conformance suite: invariants every specification-model algorithm must
+// satisfy, run uniformly over all of them. Complements the per-algorithm
+// suites with breadth: any new algorithm added to the registry below is
+// automatically held to the framework's contracts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algorithms/bitonic.hpp"
+#include "algorithms/broadcast.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/matmul_space.hpp"
+#include "algorithms/sort.hpp"
+#include "algorithms/stencil1d.hpp"
+#include "algorithms/stencil2d.hpp"
+#include "bsp/cost.hpp"
+#include "bsp/topology.hpp"
+#include "bsp/trace_io.hpp"
+#include "core/wiseness.hpp"
+#include "util/rng.hpp"
+
+namespace nobl {
+namespace {
+
+struct Producer {
+  const char* name;
+  Trace (*make)();
+};
+
+Matrix<long> rm(std::uint64_t m, std::uint64_t seed) {
+  Matrix<long> a(m, m);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      a(i, j) = static_cast<long>(rng.below(32));
+    }
+  }
+  return a;
+}
+
+const Producer kProducers[] = {
+    {"matmul",
+     [] { return matmul_oblivious(rm(16, 1), rm(16, 2)).trace; }},
+    {"matmul_space",
+     [] { return matmul_space_oblivious(rm(16, 3), rm(16, 4)).trace; }},
+    {"fft",
+     [] {
+       Xoshiro256 rng(5);
+       std::vector<std::complex<double>> x(256);
+       for (auto& v : x) v = {rng.unit(), rng.unit()};
+       return fft_oblivious(x).trace;
+     }},
+    {"sort",
+     [] {
+       Xoshiro256 rng(6);
+       std::vector<std::uint64_t> keys(256);
+       for (auto& k : keys) k = rng.below(1ULL << 32);
+       return sort_oblivious(keys).trace;
+     }},
+    {"bitonic",
+     [] {
+       Xoshiro256 rng(7);
+       std::vector<std::uint64_t> keys(256);
+       for (auto& k : keys) k = rng.below(1ULL << 32);
+       return bitonic_sort_oblivious(keys).trace;
+     }},
+    {"stencil1",
+     [] {
+       Xoshiro256 rng(8);
+       std::vector<double> rod(128);
+       for (auto& v : rod) v = rng.unit();
+       return stencil1_oblivious(
+                  rod, [](double l, double c, double r) { return l + c + r; })
+           .trace;
+     }},
+    {"stencil2", [] { return stencil2_oblivious_schedule(16).trace; }},
+    {"broadcast_aware", [] { return broadcast_aware(256, 8.0).trace; }},
+    {"broadcast_oblivious", [] { return broadcast_oblivious(256, 2).trace; }},
+};
+
+class Conformance : public ::testing::TestWithParam<Producer> {};
+
+TEST_P(Conformance, FoldingInequalityAtEveryFold) {
+  const Trace trace = GetParam().make();
+  for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {
+    EXPECT_TRUE(folding_inequality_holds(trace, log_p)) << "fold " << log_p;
+  }
+}
+
+TEST_P(Conformance, DegreesNestAcrossFolds) {
+  // Per superstep: h(2^j) <= 2·h(2^{j+1}) and h(2^j) <= (v/2^j)·h(v).
+  const Trace trace = GetParam().make();
+  const unsigned log_v = trace.log_v();
+  for (const auto& s : trace.steps()) {
+    for (unsigned j = 1; j < log_v; ++j) {
+      EXPECT_LE(s.degree[j], 2 * s.degree[j + 1]);
+      EXPECT_LE(s.degree[j], (trace.v() >> j) * s.degree[log_v]);
+    }
+  }
+}
+
+TEST_P(Conformance, HMonotoneInSigmaAndBoundedAcrossFolds) {
+  const Trace trace = GetParam().make();
+  for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {
+    double prev = -1;
+    for (const double sigma : {0.0, 1.0, 8.0, 64.0}) {
+      const double h = communication_complexity(trace, log_p, sigma);
+      EXPECT_GE(h, prev);
+      prev = h;
+    }
+    if (log_p >= 2) {
+      EXPECT_LE(communication_complexity(trace, log_p - 1, 0.0),
+                2.0 * communication_complexity(trace, log_p, 0.0) + 1e-9);
+    }
+  }
+}
+
+TEST_P(Conformance, SerializationPreservesAllCosts) {
+  const Trace trace = GetParam().make();
+  std::stringstream ss;
+  write_trace_csv(ss, trace);
+  const Trace restored = read_trace_csv(ss);
+  for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {
+    EXPECT_DOUBLE_EQ(communication_complexity(restored, log_p, 3.0),
+                     communication_complexity(trace, log_p, 3.0));
+    EXPECT_DOUBLE_EQ(wiseness_alpha(restored, log_p),
+                     wiseness_alpha(trace, log_p));
+  }
+}
+
+TEST_P(Conformance, DbspTimeOrderedByTopologyStrength) {
+  // With equal g0/ell0 scales the hypercube's (g, ell) vectors are
+  // pointwise dominated by both mesh families, so its D never loses. (Mesh
+  // vs linear array is NOT pointwise ordered at the deepest level — 2·√2 >
+  // 2 — so only the hypercube comparisons are invariants.)
+  const Trace trace = GetParam().make();
+  const std::uint64_t p = std::min<std::uint64_t>(64, trace.v());
+  if (p < 4) return;
+  const double cube = communication_time(trace, topology::hypercube(p));
+  const double mesh = communication_time(trace, topology::mesh(p, 2));
+  const double line = communication_time(trace, topology::linear_array(p));
+  EXPECT_LE(cube, mesh + 1e-9);
+  EXPECT_LE(cube, line + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Conformance,
+                         ::testing::ValuesIn(kProducers),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,95 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nobl {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_THROW((void)log2_exact(3), std::invalid_argument);
+  EXPECT_THROW((void)log2_exact(0), std::invalid_argument);
+}
+
+TEST(Bits, Log2FloorCeil) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(5), 2u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+  EXPECT_THROW((void)log2_floor(0), std::invalid_argument);
+}
+
+TEST(Bits, PaperLogClampsAtOne) {
+  // Footnote 1: log x means max{1, log2 x}.
+  EXPECT_DOUBLE_EQ(paper_log2(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(paper_log2(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(paper_log2(8.0), 3.0);
+  EXPECT_THROW((void)paper_log2(0.0), std::invalid_argument);
+}
+
+TEST(Bits, CeilFloorPow2) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(5), 8u);
+  EXPECT_EQ(ceil_pow2(8), 8u);
+  EXPECT_EQ(floor_pow2(9), 8u);
+  EXPECT_EQ(floor_pow2(1), 1u);
+}
+
+TEST(Bits, SharedMsb) {
+  // Width-4 machine (v = 16): VPs 0b0000 and 0b0001 share 3 MSBs.
+  EXPECT_EQ(shared_msb(0b0000, 0b0001, 4), 3u);
+  EXPECT_EQ(shared_msb(0b0000, 0b1000, 4), 0u);
+  EXPECT_EQ(shared_msb(0b0101, 0b0101, 4), 4u);
+  EXPECT_EQ(shared_msb(0b0110, 0b0100, 4), 2u);
+}
+
+TEST(Bits, ClusterOf) {
+  // v = 8 (width 3): 1-clusters split at the top bit.
+  EXPECT_EQ(cluster_of(3, 1, 3), 0u);
+  EXPECT_EQ(cluster_of(4, 1, 3), 1u);
+  EXPECT_EQ(cluster_of(6, 2, 3), 3u);
+  EXPECT_EQ(cluster_of(6, 0, 3), 0u);
+}
+
+TEST(Bits, SqrtPow2) {
+  EXPECT_EQ(sqrt_pow2(1), 1u);
+  EXPECT_EQ(sqrt_pow2(4), 2u);
+  EXPECT_EQ(sqrt_pow2(256), 16u);
+  EXPECT_THROW((void)sqrt_pow2(8), std::invalid_argument);
+}
+
+class SharedMsbSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SharedMsbSweep, ConsistentWithClusterOf) {
+  const unsigned width = GetParam();
+  const std::uint64_t v = 1ULL << width;
+  for (std::uint64_t a = 0; a < v; ++a) {
+    for (std::uint64_t b = 0; b < v; ++b) {
+      const unsigned s = shared_msb(a, b, width);
+      // Sharing i MSBs is equivalent to equal i-cluster indices for all
+      // i <= s and different ones for i > s.
+      for (unsigned i = 0; i <= width; ++i) {
+        EXPECT_EQ(cluster_of(a, i, width) == cluster_of(b, i, width), i <= s)
+            << "a=" << a << " b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SharedMsbSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,65 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nobl {
+namespace {
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix<int> m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 7;
+  EXPECT_EQ(m(1, 2), 7);
+  EXPECT_EQ(m.at(1, 2), 7);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, NaiveMultiplyIdentity) {
+  Matrix<long> a(3, 3);
+  Matrix<long> id(3, 3);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    id(i, i) = 1;
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<long>(rng.below(100));
+    }
+  }
+  EXPECT_EQ(multiply_naive(a, id), a);
+  EXPECT_EQ(multiply_naive(id, a), a);
+}
+
+TEST(Matrix, NaiveMultiplyKnownProduct) {
+  Matrix<int> a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  Matrix<int> b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6;
+  b(1, 0) = 7; b(1, 1) = 8;
+  const auto c = multiply_naive(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, NaiveMultiplyShapeCheck) {
+  Matrix<int> a(2, 3);
+  Matrix<int> b(2, 3);
+  EXPECT_THROW(multiply_naive(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

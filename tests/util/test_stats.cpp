@@ -1,0 +1,61 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace nobl {
+namespace {
+
+TEST(Stats, SummaryBasics) {
+  const std::array<double, 4> xs{1.0, 2.0, 4.0, 8.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.75);
+  EXPECT_NEAR(s.geomean, std::pow(64.0, 0.25), 1e-12);
+}
+
+TEST(Stats, SummaryThrowsOnEmpty) {
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanZeroWhenNonPositive) {
+  const std::array<double, 2> xs{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).geomean, 0.0);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  // y = 3 x^{2.5} has log-log slope 2.5 regardless of the constant.
+  std::vector<double> x, y;
+  for (double v = 2; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 2.5));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 2.5, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeNegativeExponent) {
+  std::vector<double> x, y;
+  for (double v = 2; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(100.0 * std::pow(v, -2.0 / 3.0));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), -2.0 / 3.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeValidation) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)loglog_slope(one, one), std::invalid_argument);
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> bad{0.0, 2.0};
+  EXPECT_THROW((void)loglog_slope(x, bad), std::invalid_argument);
+  const std::vector<double> same{2.0, 2.0};
+  EXPECT_THROW((void)loglog_slope(same, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nobl {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("demo", {"a", "bb"});
+  t.row().add(std::uint64_t{1}).add("x");
+  t.row().add(std::uint64_t{22}).add("yy");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", {"a", "b"});
+  t.row().add(std::uint64_t{1}).add(std::uint64_t{2});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowsCounted) {
+  Table t("demo", {"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().add(std::uint64_t{1});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ThrowsOnOverfullRow) {
+  Table t("demo", {"a"});
+  t.row().add(std::uint64_t{1});
+  EXPECT_THROW(t.add(std::uint64_t{2}), std::logic_error);
+}
+
+TEST(Table, ThrowsOnAddBeforeRow) {
+  Table t("demo", {"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(Table, ThrowsOnEmptyHeaders) {
+  EXPECT_THROW(Table("demo", {}), std::invalid_argument);
+}
+
+TEST(Table, DoubleFormatting) {
+  EXPECT_EQ(Table::format_double(2.0), "2");
+  EXPECT_EQ(Table::format_double(0.5), "0.5");
+  EXPECT_EQ(Table::format_double(1.0e9), "1000000000");  // integral: exact
+  EXPECT_EQ(Table::format_double(2.5e9 + 0.25), "2.500e+09");  // non-integral
+  EXPECT_EQ(Table::format_double(1234.5), "1234");  // 4 significant digits
+}
+
+}  // namespace
+}  // namespace nobl
