@@ -18,7 +18,7 @@ void report() {
            "meas/LB"});
   for (const std::uint64_t p : {64u, 1024u, 16384u}) {
     for (const double sigma : {0.0, 4.0, 32.0, 256.0, 4096.0}) {
-      const auto run = broadcast_aware(p, sigma);
+      const auto run = broadcast_aware(p, sigma, 1, benchx::engine());
       const double h =
           communication_complexity(run.trace, run.trace.log_v(), sigma);
       const double lower = lb::broadcast(p, sigma);
@@ -38,7 +38,7 @@ void report() {
            "theorem LB on GAP"});
   const std::uint64_t p = 4096;
   for (const std::uint64_t kappa : {2u, 8u, 64u}) {
-    const auto run = broadcast_oblivious(p, kappa);
+    const auto run = broadcast_oblivious(p, kappa, 1, benchx::engine());
     for (const double sigma2 : {16.0, 256.0, 65536.0}) {
       g.row()
           .add(kappa)
@@ -57,10 +57,10 @@ void report() {
   Table c("H(p = 4096, sigma) of fixed-fanout trees",
           {"sigma", "kappa=2", "kappa=8", "kappa=64", "aware (adaptive)"});
   for (const double sigma : {0.0, 2.0, 8.0, 64.0, 1024.0}) {
-    const auto aware = broadcast_aware(p, sigma);
+    const auto aware = broadcast_aware(p, sigma, 1, benchx::engine());
     c.row().add(sigma);
     for (const std::uint64_t kappa : {2u, 8u, 64u}) {
-      const auto run = broadcast_oblivious(p, kappa);
+      const auto run = broadcast_oblivious(p, kappa, 1, benchx::engine());
       c.add(communication_complexity(run.trace, run.trace.log_v(), sigma));
     }
     c.add(communication_complexity(aware.trace, aware.trace.log_v(), sigma));
@@ -71,7 +71,7 @@ void report() {
 void BM_BroadcastAware(benchmark::State& state) {
   const auto p = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
-    auto run = broadcast_aware(p, 16.0);
+    auto run = broadcast_aware(p, 16.0, 1, benchx::engine());
     benchmark::DoNotOptimize(run.values);
   }
 }

@@ -15,11 +15,19 @@
 #include <iostream>
 #include <vector>
 
+#include "bsp/execution.hpp"
 #include "core/experiment.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace nobl::benchx {
+
+/// The engine every bench simulation runs under, selected once from the
+/// environment (NOBL_ENGINE=seq|par, NOBL_THREADS=N; default sequential).
+inline const ExecutionPolicy& engine() {
+  static const ExecutionPolicy policy = execution_policy_from_env();
+  return policy;
+}
 
 inline Matrix<long> random_matrix(std::uint64_t m, std::uint64_t seed) {
   Matrix<long> a(m, m);
@@ -60,6 +68,9 @@ inline void banner(const std::string& title) {
   std::cout << "\n================================================================\n"
             << "  " << title
             << "\n================================================================\n";
+  if (engine().is_parallel()) {
+    std::cout << "  [engine: " << to_string(engine()) << "]\n";
+  }
 }
 
 }  // namespace nobl::benchx

@@ -10,11 +10,12 @@ namespace nobl {
 namespace {
 
 std::vector<AlgoRun> build_runs() {
-  std::vector<AlgoRun> runs;
-  for (const std::uint64_t n : {64u, 1024u, 16384u}) {
-    runs.push_back(AlgoRun{n, fft_oblivious(benchx::random_signal(n, n)).trace});
-  }
-  return runs;
+  return make_runs(
+      {64, 1024, 16384},
+      [](std::uint64_t n, const ExecutionPolicy& policy) {
+        return fft_oblivious(benchx::random_signal(n, n), true, policy).trace;
+      },
+      benchx::engine());
 }
 
 void report() {
@@ -48,7 +49,7 @@ void BM_FftOblivious(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto x = benchx::random_signal(n, 5);
   for (auto _ : state) {
-    auto run = fft_oblivious(x);
+    auto run = fft_oblivious(x, true, benchx::engine());
     benchmark::DoNotOptimize(run.output);
   }
 }

@@ -26,20 +26,23 @@ std::vector<Named> all_traces() {
   std::vector<Named> out;
   out.push_back({"matmul n=4096",
                  matmul_oblivious(benchx::random_matrix(64, 1),
-                                  benchx::random_matrix(64, 2))
+                                  benchx::random_matrix(64, 2), true,
+                                  benchx::engine())
                      .trace});
   out.push_back({"matmul-space n=1024",
                  matmul_space_oblivious(benchx::random_matrix(32, 3),
-                                        benchx::random_matrix(32, 4))
+                                        benchx::random_matrix(32, 4), true,
+                                        benchx::engine())
                      .trace});
   out.push_back({"fft n=4096",
-                 fft_oblivious(benchx::random_signal(4096, 5)).trace});
+                 fft_oblivious(benchx::random_signal(4096, 5), true, benchx::engine()).trace});
   out.push_back({"sort n=1024",
-                 sort_oblivious(benchx::random_keys(1024, 6)).trace});
+                 sort_oblivious(benchx::random_keys(1024, 6), true, benchx::engine()).trace});
   out.push_back({"stencil1 n=256",
-                 stencil1_oblivious(benchx::random_rod(256, 7), heat).trace});
+                 stencil1_oblivious(benchx::random_rod(256, 7), heat, true, 0,
+                                    benchx::engine()).trace});
   out.push_back({"broadcast-oblivious p=4096",
-                 broadcast_oblivious(4096, 2).trace});
+                 broadcast_oblivious(4096, 2, 1, benchx::engine()).trace});
   return out;
 }
 
@@ -86,7 +89,7 @@ void report() {
 
 void BM_TraceMetrics(benchmark::State& state) {
   const auto trace =
-      fft_oblivious(benchx::random_signal(4096, 8)).trace;
+      fft_oblivious(benchx::random_signal(4096, 8), true, benchx::engine()).trace;
   for (auto _ : state) {
     double acc = 0;
     for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {

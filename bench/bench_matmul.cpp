@@ -18,7 +18,8 @@ std::vector<AlgoRun> build_runs() {
   std::vector<AlgoRun> runs;
   for (const std::uint64_t m : {8u, 64u, 128u}) {
     const auto run = matmul_oblivious(benchx::random_matrix(m, m),
-                                      benchx::random_matrix(m, m + 1));
+                                      benchx::random_matrix(m, m + 1), true,
+                                      benchx::engine());
     runs.push_back(AlgoRun{m * m, run.trace});
   }
   return runs;
@@ -44,7 +45,8 @@ void report() {
           {"n", "peak entries", "n^(1/3)", "peak / n^(1/3)"});
   for (const std::uint64_t m : {8u, 64u, 128u}) {
     const auto run = matmul_oblivious(benchx::random_matrix(m, 2 * m),
-                                      benchx::random_matrix(m, 2 * m + 1));
+                                      benchx::random_matrix(m, 2 * m + 1),
+                                      true, benchx::engine());
     const double n = static_cast<double>(m) * static_cast<double>(m);
     const double root = std::cbrt(n);
     t.row()
@@ -61,12 +63,12 @@ void BM_MatmulOblivious(benchmark::State& state) {
   const auto a = benchx::random_matrix(m, 1);
   const auto b = benchx::random_matrix(m, 2);
   for (auto _ : state) {
-    auto run = matmul_oblivious(a, b);
+    auto run = matmul_oblivious(a, b, true, benchx::engine());
     benchmark::DoNotOptimize(run.c);
   }
   state.counters["VPs"] = static_cast<double>(m * m);
   state.counters["messages"] = static_cast<double>(
-      matmul_oblivious(a, b).trace.total_messages());
+      matmul_oblivious(a, b, true, benchx::engine()).trace.total_messages());
 }
 BENCHMARK(BM_MatmulOblivious)->Arg(8)->Arg(32)->Arg(64);
 

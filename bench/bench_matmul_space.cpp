@@ -17,7 +17,8 @@ std::vector<AlgoRun> build_runs() {
   std::vector<AlgoRun> runs;
   for (const std::uint64_t m : {8u, 32u, 64u}) {
     const auto run = matmul_space_oblivious(benchx::random_matrix(m, m),
-                                            benchx::random_matrix(m, m + 1));
+                                            benchx::random_matrix(m, m + 1),
+                                            true, benchx::engine());
     runs.push_back(AlgoRun{m * m, run.trace});
   }
   return runs;
@@ -35,9 +36,11 @@ void report() {
   Table t("H at sigma = 0, fold p, n = 4096",
           {"p", "H cube-root blow-up", "H constant memory", "space / cube"});
   const auto cube = matmul_oblivious(benchx::random_matrix(64, 1),
-                                     benchx::random_matrix(64, 2));
+                                     benchx::random_matrix(64, 2), true,
+                                     benchx::engine());
   const auto flat = matmul_space_oblivious(benchx::random_matrix(64, 1),
-                                           benchx::random_matrix(64, 2));
+                                           benchx::random_matrix(64, 2), true,
+                                           benchx::engine());
   for (std::uint64_t p = 4; p <= 4096; p *= 4) {
     const unsigned log_p = log2_exact(p);
     const double hc = communication_complexity(cube.trace, log_p, 0);
@@ -58,7 +61,7 @@ void BM_MatmulSpace(benchmark::State& state) {
   const auto a = benchx::random_matrix(m, 3);
   const auto b = benchx::random_matrix(m, 4);
   for (auto _ : state) {
-    auto run = matmul_space_oblivious(a, b);
+    auto run = matmul_space_oblivious(a, b, true, benchx::engine());
     benchmark::DoNotOptimize(run.c);
   }
 }

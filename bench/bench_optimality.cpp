@@ -30,20 +30,21 @@ std::vector<Subject> subjects() {
   std::vector<Subject> out;
   out.push_back({"matmul n=4096", 4096,
                  matmul_oblivious(benchx::random_matrix(64, 1),
-                                  benchx::random_matrix(64, 2))
+                                  benchx::random_matrix(64, 2), true,
+                                  benchx::engine())
                      .trace,
                  [](std::uint64_t n, std::uint64_t p, double s) {
                    return lb::matmul(n, p, s);
                  },
                  &baseline::matmul});
   out.push_back({"fft n=4096", 4096,
-                 fft_oblivious(benchx::random_signal(4096, 3)).trace,
+                 fft_oblivious(benchx::random_signal(4096, 3), true, benchx::engine()).trace,
                  [](std::uint64_t n, std::uint64_t p, double s) {
                    return lb::fft(n, p, s);
                  },
                  &baseline::fft});
   out.push_back({"sort n=1024", 1024,
-                 sort_oblivious(benchx::random_keys(1024, 4)).trace,
+                 sort_oblivious(benchx::random_keys(1024, 4), true, benchx::engine()).trace,
                  [](std::uint64_t n, std::uint64_t p, double s) {
                    return lb::sort(n, p, s);
                  },
@@ -99,7 +100,7 @@ void report() {
 }
 
 void BM_Certify(benchmark::State& state) {
-  const auto trace = fft_oblivious(benchx::random_signal(1024, 5)).trace;
+  const auto trace = fft_oblivious(benchx::random_signal(1024, 5), true, benchx::engine()).trace;
   const auto lower = [](std::uint64_t n, std::uint64_t p, double s) {
     return lb::fft(n, p, s);
   };

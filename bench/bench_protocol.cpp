@@ -64,7 +64,7 @@ void report() {
   Table o("FFT n = 4096 under both protocols",
           {"topology", "D standard", "D ascend-descend", "overhead",
            "log^2 p"});
-  const Trace fft_trace = fft_oblivious(benchx::random_signal(4096, 1)).trace;
+  const Trace fft_trace = fft_oblivious(benchx::random_signal(4096, 1), true, benchx::engine()).trace;
   for (const std::uint64_t p : {16u, 64u}) {
     const unsigned log_p = log2_exact(p);
     for (const auto& params :
@@ -97,7 +97,7 @@ void report() {
     for (std::uint64_t i = 0; i < count; ++i) {
       rel.push_back(RoutedMsg<int>{0, 32, static_cast<int>(i)});
     }
-    const auto executed = execute_ascend_descend(64, 0, rel);
+    const auto executed = execute_ascend_descend(64, 0, rel, benchx::engine());
     const auto params = topology::linear_array(64);
     r.row()
         .add(count)
@@ -125,7 +125,7 @@ void report() {
 }
 
 void BM_AscendDescend(benchmark::State& state) {
-  const Trace trace = fft_oblivious(benchx::random_signal(4096, 2)).trace;
+  const Trace trace = fft_oblivious(benchx::random_signal(4096, 2), true, benchx::engine()).trace;
   for (auto _ : state) {
     auto out = ascend_descend_transform(trace, 6);
     benchmark::DoNotOptimize(out);

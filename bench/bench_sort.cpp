@@ -13,7 +13,7 @@ namespace {
 std::vector<AlgoRun> build_runs() {
   std::vector<AlgoRun> runs;
   for (const std::uint64_t n : {64u, 1024u, 4096u}) {
-    runs.push_back(AlgoRun{n, sort_oblivious(benchx::random_keys(n, n)).trace});
+    runs.push_back(AlgoRun{n, sort_oblivious(benchx::random_keys(n, n), true, benchx::engine()).trace});
   }
   return runs;
 }
@@ -65,8 +65,9 @@ void report() {
            {"n", "p", "H columnsort", "H bitonic", "col/bit",
             "pred col/bit at n=2^40"});
   for (const std::uint64_t n : {256u, 1024u, 4096u}) {
-    const auto col = sort_oblivious(benchx::random_keys(n, n + 1));
-    const auto bit = bitonic_sort_oblivious(benchx::random_keys(n, n + 1));
+    const auto col = sort_oblivious(benchx::random_keys(n, n + 1), true, benchx::engine());
+    const auto bit =
+        bitonic_sort_oblivious(benchx::random_keys(n, n + 1), benchx::engine());
     for (const std::uint64_t p : {16u, 64u}) {
       const unsigned log_p = log2_exact(p);
       const double hc = communication_complexity(col.trace, log_p, 0);
@@ -92,7 +93,7 @@ void BM_SortOblivious(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto keys = benchx::random_keys(n, 9);
   for (auto _ : state) {
-    auto run = sort_oblivious(keys);
+    auto run = sort_oblivious(keys, true, benchx::engine());
     benchmark::DoNotOptimize(run.output);
   }
 }

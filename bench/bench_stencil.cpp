@@ -25,7 +25,8 @@ void report() {
       "(stripes/phases per level)");
   for (const std::uint64_t n : {64u, 256u, 1024u}) {
     const DiamondSchedule sched(n);
-    const auto run = stencil1_oblivious(benchx::random_rod(n, n), heat);
+    const auto run = stencil1_oblivious(benchx::random_rod(n, n), heat, true, 0,
+                                        benchx::engine());
     Table t("n = " + std::to_string(n) + ", k = " + std::to_string(sched.k()) +
                 ", radices per level as below",
             {"level i", "radix k_i", "label (i-1)logk", "supersteps S^label",
@@ -49,7 +50,8 @@ void report() {
   std::vector<AlgoRun> runs;
   for (const std::uint64_t n : {64u, 256u, 1024u}) {
     runs.push_back(
-        AlgoRun{n, stencil1_oblivious(benchx::random_rod(n, n), heat).trace});
+        AlgoRun{n, stencil1_oblivious(benchx::random_rod(n, n), heat, true, 0,
+                                        benchx::engine()).trace});
   }
   std::cout << h_table(
       "(n,1)-stencil vs the closed form and Lemma 4.10", runs,
@@ -87,8 +89,8 @@ void report() {
            {"n", "D diamond", "D row-wise", "row/diamond"});
   for (const std::uint64_t n : {64u, 256u, 1024u}) {
     const auto rod = benchx::random_rod(n, n + 7);
-    const auto d = stencil1_oblivious(rod, heat);
-    const auto r = stencil1_rowwise(rod, heat);
+    const auto d = stencil1_oblivious(rod, heat, true, 0, benchx::engine());
+    const auto r = stencil1_rowwise(rod, heat, benchx::engine());
     const auto params = topology::uniform(4, 1.0, 1000.0);
     const double dd = communication_time(d.trace, params);
     const double dr = communication_time(r.trace, params);
@@ -101,7 +103,8 @@ void report() {
            {"k", "supersteps", "H", "D on hypercube(16)"});
   for (const std::uint64_t k : {2u, 4u, 8u, 16u}) {
     const auto run =
-        stencil1_oblivious(benchx::random_rod(256, 3), heat, true, k);
+        stencil1_oblivious(benchx::random_rod(256, 3), heat, true, k,
+                           benchx::engine());
     ka.row()
         .add(k)
         .add(run.trace.supersteps())
@@ -115,7 +118,7 @@ void BM_Stencil1Diamond(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto rod = benchx::random_rod(n, 11);
   for (auto _ : state) {
-    auto run = stencil1_oblivious(rod, heat);
+    auto run = stencil1_oblivious(rod, heat, true, 0, benchx::engine());
     benchmark::DoNotOptimize(run.grid);
   }
 }

@@ -17,7 +17,7 @@ void report() {
           {"n", "v = n^2", "p", "sigma", "H measured", "H predicted",
            "meas/pred", "LB (Lemma 4.10)", "meas/LB"});
   for (const std::uint64_t n : {16u, 64u, 128u}) {
-    const auto run = stencil2_oblivious_schedule(n);
+    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
     const std::uint64_t v = n * n;
     for (const std::uint64_t p : {4u, 64u, static_cast<unsigned>(v)}) {
       const unsigned log_p = log2_exact(p);
@@ -45,7 +45,7 @@ void report() {
   benchx::banner("Schedule census: per-level phases (4k-3 stripes)");
   Table c("per-level superstep counts", {"n", "k", "level labels S^label"});
   for (const std::uint64_t n : {16u, 64u}) {
-    const auto run = stencil2_oblivious_schedule(n);
+    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
     std::string labels;
     for (unsigned i = 0; i <= run.trace.max_label(); ++i) {
       const auto count = run.trace.S(i);
@@ -61,7 +61,7 @@ void report() {
   benchx::banner("E-W    wiseness of the schedule");
   Table w("alpha at selected folds", {"n", "p=4", "p=64", "p=v"});
   for (const std::uint64_t n : {16u, 64u}) {
-    const auto run = stencil2_oblivious_schedule(n);
+    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
     w.row()
         .add(n)
         .add(wiseness_alpha(run.trace, 2))
@@ -74,7 +74,7 @@ void report() {
 void BM_Stencil2Schedule(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
-    auto run = stencil2_oblivious_schedule(n);
+    auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
     benchmark::DoNotOptimize(run.trace);
   }
 }

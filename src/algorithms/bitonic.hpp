@@ -35,12 +35,12 @@ struct BitonicRun {
 
 /// Sort n = |keys| (power of two) keys on M(n) with the bitonic network.
 inline BitonicRun bitonic_sort_oblivious(
-    const std::vector<std::uint64_t>& keys) {
+    const std::vector<std::uint64_t>& keys, ExecutionPolicy policy = {}) {
   const std::uint64_t n = keys.size();
   if (!is_pow2(n)) {
     throw std::invalid_argument("bitonic_sort: size must be a power of two");
   }
-  Machine<std::uint64_t> machine(n);
+  Machine<std::uint64_t> machine(n, policy);
   const unsigned log_n = machine.log_v();
   std::vector<std::uint64_t> values = keys;
 

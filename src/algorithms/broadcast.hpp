@@ -42,12 +42,13 @@ namespace broadcast_detail {
 /// v/κ^i) forward to the κ evenly spaced representatives of their block's
 /// κ sub-blocks. Rounds stop when the spacing reaches 1.
 inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
-                             std::uint64_t value) {
+                             std::uint64_t value,
+                             ExecutionPolicy policy = {}) {
   if (!is_pow2(v) || !is_pow2(kappa) || kappa < 2) {
     throw std::invalid_argument(
         "broadcast: v and kappa must be powers of two, kappa >= 2");
   }
-  Machine<std::uint64_t> machine(v);
+  Machine<std::uint64_t> machine(v, policy);
   std::vector<std::uint64_t> values(v, 0);
   values[0] = value;
   std::vector<bool> holds(v, false);
@@ -87,13 +88,14 @@ inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
 /// per-round cost κ-1+σ balances the round count log_κ p). Matches the
 /// Theorem 4.15 lower bound within a constant factor on M(v, σ).
 inline BroadcastRun broadcast_aware(std::uint64_t v, double sigma,
-                                    std::uint64_t value = 1) {
+                                    std::uint64_t value = 1,
+                                    ExecutionPolicy policy = {}) {
   const double base = sigma < 2.0 ? 2.0 : sigma;
   std::uint64_t kappa = ceil_pow2(static_cast<std::uint64_t>(base));
   if (kappa < 2) kappa = 2;
   if (kappa > v) kappa = v;
   if (v == 1) kappa = 2;
-  return broadcast_detail::run_tree(v, kappa, value);
+  return broadcast_detail::run_tree(v, kappa, value, policy);
 }
 
 /// The network-oblivious broadcast: fanout fixed at design time (κ = 2 is
@@ -101,8 +103,9 @@ inline BroadcastRun broadcast_aware(std::uint64_t v, double sigma,
 /// targets — Theorem 4.16 bounds the gap elsewhere.
 inline BroadcastRun broadcast_oblivious(std::uint64_t v,
                                         std::uint64_t kappa = 2,
-                                        std::uint64_t value = 1) {
-  return broadcast_detail::run_tree(v, kappa, value);
+                                        std::uint64_t value = 1,
+                                        ExecutionPolicy policy = {}) {
+  return broadcast_detail::run_tree(v, kappa, value, policy);
 }
 
 /// Measured GAP_A(n, p, σ1, σ2) of Theorem 4.16: the worst ratio, over a

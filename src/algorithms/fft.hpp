@@ -58,13 +58,14 @@ struct FftRun {
 /// Compute the DFT of x (|x| a power of two) with the network-oblivious
 /// recursion on M(n).
 inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
-                            bool wiseness_dummies = true) {
+                            bool wiseness_dummies = true,
+                            ExecutionPolicy policy = {}) {
   using C = std::complex<double>;
   const std::uint64_t n = x.size();
   if (!is_pow2(n)) {
     throw std::invalid_argument("fft_oblivious: size must be a power of two");
   }
-  Machine<C> machine(n);
+  Machine<C> machine(n, policy);
   const unsigned log_n = machine.log_v();
   std::vector<C> values = x;
 
@@ -176,10 +177,11 @@ inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
 /// the inverse transform runs the same network-oblivious schedule (and so
 /// shares its trace structure and optimality properties).
 inline FftRun ifft_oblivious(const std::vector<std::complex<double>>& x,
-                             bool wiseness_dummies = true) {
+                             bool wiseness_dummies = true,
+                             ExecutionPolicy policy = {}) {
   std::vector<std::complex<double>> conj_in(x.size());
   for (std::size_t k = 0; k < x.size(); ++k) conj_in[k] = std::conj(x[k]);
-  FftRun run = fft_oblivious(conj_in, wiseness_dummies);
+  FftRun run = fft_oblivious(conj_in, wiseness_dummies, policy);
   const double scale = 1.0 / static_cast<double>(x.size());
   for (auto& v : run.output) v = std::conj(v) * scale;
   return run;

@@ -28,6 +28,7 @@
 // the algorithm (Θ(1), n)-wise without touching its state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -74,7 +75,8 @@ struct MatmulRun {
 /// recursion on M(m²).
 template <typename T>
 MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
-                              bool wiseness_dummies = true) {
+                              bool wiseness_dummies = true,
+                              ExecutionPolicy policy = {}) {
   using E = mm_detail::Entry<T>;
   using M = mm_detail::Msg<T>;
   using mm_detail::Tag;
@@ -85,7 +87,7 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
         "matmul_oblivious: matrices must be square with power-of-two side");
   }
   const std::uint64_t n = m * m;  // input size == number of VPs
-  Machine<M> machine(n);
+  Machine<M> machine(n, policy);
   const unsigned log_n = machine.log_v();
   // Deepest level with segments of >= 8 VPs fully split.
   const unsigned max_level = log_n / 3;
@@ -95,10 +97,15 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     std::vector<E> a, b, c;
   };
   std::vector<VpState> state(n);
-  std::size_t peak_entries = 0;
+  // Max over co-active VPs — commutative, so an atomic fetch-max keeps the
+  // audit deterministic under the parallel engine.
+  std::atomic<std::size_t> peak_entries{0};
   auto audit = [&](const VpState& st) {
-    peak_entries =
-        std::max(peak_entries, st.a.size() + st.b.size() + st.c.size());
+    const std::size_t held = st.a.size() + st.b.size() + st.c.size();
+    std::size_t seen = peak_entries.load(std::memory_order_relaxed);
+    while (seen < held && !peak_entries.compare_exchange_weak(
+                              seen, held, std::memory_order_relaxed)) {
+    }
   };
 
   auto dims_at = [&](unsigned level) { return m >> level; };
@@ -358,7 +365,7 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     if (any) c(ci, cj) = sum;
   });
 
-  return MatmulRun<T>{std::move(c), machine.trace(), peak_entries};
+  return MatmulRun<T>{std::move(c), machine.trace(), peak_entries.load()};
 }
 
 }  // namespace nobl

@@ -65,7 +65,8 @@ struct MatmulSpaceRun {
 template <typename T>
 MatmulSpaceRun<T> matmul_space_oblivious(const Matrix<T>& a,
                                          const Matrix<T>& b,
-                                         bool wiseness_dummies = true) {
+                                         bool wiseness_dummies = true,
+                                         ExecutionPolicy policy = {}) {
   using M = mms_detail::Msg<T>;
   using mms_detail::kRounds;
   using mms_detail::Tag;
@@ -76,7 +77,7 @@ MatmulSpaceRun<T> matmul_space_oblivious(const Matrix<T>& a,
         "matmul_space_oblivious: matrices must be square, power-of-two side");
   }
   const std::uint64_t n = m * m;
-  Machine<M> machine(n);
+  Machine<M> machine(n, policy);
   const unsigned levels = log2_exact(n) / 2;  // segment size n/4^i
 
   struct Held {

@@ -125,13 +125,18 @@ void permute(Machine<T>& machine, std::span<T> values, Perm perm) {
   if (values.size() != v) {
     throw std::invalid_argument("permute: one value per VP required");
   }
-  std::vector<T> next(v);
+  // Validate the bijection before the superstep: the body then only writes
+  // the disjoint targets perm(r), which is safe under the parallel engine.
   std::vector<bool> hit(v, false);
-  machine.superstep(0, [&](Vp<T>& vp) {
-    const std::uint64_t dst = perm(vp.id());
+  for (std::uint64_t r = 0; r < v; ++r) {
+    const std::uint64_t dst = perm(r);
     if (dst >= v) throw std::invalid_argument("permute: target out of range");
     if (hit[dst]) throw std::invalid_argument("permute: not a bijection");
     hit[dst] = true;
+  }
+  std::vector<T> next(v);
+  machine.superstep(0, [&](Vp<T>& vp) {
+    const std::uint64_t dst = perm(vp.id());
     vp.send(dst, values[vp.id()]);
     next[dst] = values[vp.id()];
   });

@@ -48,12 +48,13 @@ struct SortRun {
 
 /// Sort n = |keys| (power of two) 62-bit keys on M(n).
 inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
-                              bool wiseness_dummies = true) {
+                              bool wiseness_dummies = true,
+                              ExecutionPolicy policy = {}) {
   const std::uint64_t n = keys.size();
   if (!is_pow2(n)) {
     throw std::invalid_argument("sort_oblivious: size must be a power of two");
   }
-  Machine<std::uint64_t> machine(n);
+  Machine<std::uint64_t> machine(n, policy);
   using VpT = Vp<std::uint64_t>;
   const unsigned log_n = machine.log_v();
   std::vector<std::uint64_t> values = keys;
@@ -83,23 +84,21 @@ inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
   };
 
   // Direct sort of every aligned segment of <= 8 VPs: one all-to-all
-  // superstep; each VP keeps the key matching its local rank.
+  // superstep; each VP keeps the key matching its local rank. The host
+  // mirror of the per-segment sort runs after the barrier — superstep
+  // bodies must not mutate state their co-active siblings read.
   auto sort_base = [&](std::uint64_t seg) {
     const unsigned label = log_n - log2_exact(seg);
-    std::vector<std::uint64_t> next(n);
     machine.superstep(label, [&](VpT& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       for (std::uint64_t o = 0; o < seg; ++o) {
         if (base + o != vp.id()) vp.send(base + o, values[vp.id()]);
       }
-      if (vp.id() == base) {
-        // Host mirror of what every segment member computes from its inbox.
-        std::sort(values.begin() + base, values.begin() + base + seg);
-        std::copy(values.begin() + base, values.begin() + base + seg,
-                  next.begin() + base);
-      }
     });
-    values.swap(next);
+    // Host mirror of what every segment member computes from its inbox.
+    for (std::uint64_t base = 0; base < n; base += seg) {
+      std::sort(values.begin() + base, values.begin() + base + seg);
+    }
   };
 
   // Recursive Columnsort over every aligned segment of L VPs in lockstep.

@@ -56,10 +56,11 @@ struct Stencil1Run {
 inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
                                       const Stencil1Fn& f,
                                       bool wiseness_dummies = true,
-                                      std::uint64_t k_override = 0) {
+                                      std::uint64_t k_override = 0,
+                                      ExecutionPolicy policy = {}) {
   const std::uint64_t n = input.size();
   const DiamondSchedule sched(n, k_override);
-  Machine<double> machine(n);
+  Machine<double> machine(n, policy);
 
   Matrix<double> grid(n, n, 0.0);
   for (std::uint64_t x = 0; x < n; ++x) grid(0, x) = input[x];
@@ -162,12 +163,13 @@ inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
 /// degree 2). Latency-dominated machines pay Θ(n·σ) here — the contrast the
 /// diamond schedule exists to avoid.
 inline Stencil1Run stencil1_rowwise(const std::vector<double>& input,
-                                    const Stencil1Fn& f) {
+                                    const Stencil1Fn& f,
+                                    ExecutionPolicy policy = {}) {
   const std::uint64_t n = input.size();
   if (!is_pow2(n) || n < 2) {
     throw std::invalid_argument("stencil1_rowwise: n must be a power of two");
   }
-  Machine<double> machine(n);
+  Machine<double> machine(n, policy);
   Matrix<double> grid(n, n, 0.0);
   for (std::uint64_t x = 0; x < n; ++x) grid(0, x) = input[x];
 

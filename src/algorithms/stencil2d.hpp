@@ -80,7 +80,8 @@ struct Stencil2Run {
 /// k_override substitutes the recursion width (ablation hook).
 inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
                                                bool wiseness_dummies = true,
-                                               std::uint64_t k_override = 0) {
+                                               std::uint64_t k_override = 0,
+                                               ExecutionPolicy policy = {}) {
   if (!is_pow2(n) || n < 2) {
     throw std::invalid_argument(
         "stencil2_oblivious_schedule: n must be a power of two >= 2");
@@ -97,7 +98,7 @@ inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
   }
 
   const std::uint64_t v = n * n;
-  Machine<std::uint8_t> machine(v);
+  Machine<std::uint8_t> machine(v, policy);
   const unsigned log_v = machine.log_v();
 
   // Per-level segment sizes: divide by k² per level (mixed tail).

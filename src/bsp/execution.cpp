@@ -1,0 +1,44 @@
+#include "bsp/execution.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace nobl {
+
+ExecutionPolicy ExecutionPolicy::parallel(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  return ExecutionPolicy{Mode::kParallel, num_threads};
+}
+
+std::string to_string(const ExecutionPolicy& policy) {
+  if (policy.mode == ExecutionPolicy::Mode::kSequential) return "seq";
+  return "par:" + std::to_string(policy.num_threads);
+}
+
+ExecutionPolicy execution_policy_from_env() {
+  const char* engine = std::getenv("NOBL_ENGINE");
+  if (engine == nullptr) return ExecutionPolicy::sequential();
+  const std::string name(engine);
+  if (name.empty() || name == "seq" || name == "sequential") {
+    return ExecutionPolicy::sequential();
+  }
+  if (name != "par" && name != "parallel") {
+    throw std::invalid_argument("NOBL_ENGINE: expected seq|sequential|par|parallel, got \"" +
+                                name + "\"");
+  }
+  unsigned threads = 0;
+  if (const char* env_threads = std::getenv("NOBL_THREADS")) {
+    const long parsed = std::strtol(env_threads, nullptr, 10);
+    if (parsed < 1) {
+      throw std::invalid_argument("NOBL_THREADS: expected a positive integer");
+    }
+    threads = static_cast<unsigned>(parsed);
+  }
+  return ExecutionPolicy::parallel(threads);
+}
+
+}  // namespace nobl

@@ -1,0 +1,58 @@
+// Execution policies for the M(v) simulator.
+//
+// The specification model's semantics are strictly sequential: superstep
+// bodies run once per virtual processor in index order, and message delivery
+// order, degree accounting and cluster-violation detection are all defined by
+// that order. The engine nevertheless admits a parallel implementation,
+// because the observable effects of a superstep are confined to
+//
+//   * the messages staged by each VP (private to that VP during the body),
+//   * the degree counters (commutative sums, foldable in any order),
+//   * per-VP host state touched by the body (the algorithms in this repo
+//     only write VP-private slots inside superstep bodies).
+//
+// ExecutionPolicy selects the engine at Machine construction. The parallel
+// engine partitions the active VPs of every superstep over a persistent
+// worker pool and reproduces the sequential semantics bit-for-bit (see
+// bsp/machine.hpp for the merge rules).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nobl {
+
+struct ExecutionPolicy {
+  enum class Mode : std::uint8_t { kSequential, kParallel };
+
+  Mode mode = Mode::kSequential;
+  /// Worker count for Mode::kParallel (>= 1). Ignored when sequential.
+  unsigned num_threads = 1;
+
+  /// The default engine: VP bodies run inline, in index order.
+  [[nodiscard]] static constexpr ExecutionPolicy sequential() noexcept {
+    return {};
+  }
+
+  /// Parallel engine over `num_threads` workers; 0 picks the hardware
+  /// concurrency (at least 1).
+  [[nodiscard]] static ExecutionPolicy parallel(unsigned num_threads = 0);
+
+  /// True when this policy actually dispatches to a worker pool.
+  [[nodiscard]] constexpr bool is_parallel() const noexcept {
+    return mode == Mode::kParallel && num_threads > 1;
+  }
+
+  friend bool operator==(const ExecutionPolicy&,
+                         const ExecutionPolicy&) = default;
+};
+
+/// "seq" or "par:N" — used in bench banners and log lines.
+[[nodiscard]] std::string to_string(const ExecutionPolicy& policy);
+
+/// Engine selection for benches and CLIs without touching their argv:
+/// NOBL_ENGINE = "seq" | "sequential" | "par" | "parallel" (default seq),
+/// NOBL_THREADS = worker count for the parallel engine (default: hardware).
+[[nodiscard]] ExecutionPolicy execution_policy_from_env();
+
+}  // namespace nobl

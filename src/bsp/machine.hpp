@@ -7,8 +7,8 @@
 // processing element may only message peers sharing its i most significant
 // index bits. The simulator
 //
-//   * runs the superstep body once per virtual processor (in index order, so
-//     executions are deterministic),
+//   * runs the superstep body once per virtual processor (in index order
+//     under the sequential engine; see below for the parallel engine),
 //   * routes real message payloads into the recipients' next-superstep
 //     inboxes (delivery order = sender index, then send order),
 //   * enforces the cluster-containment rule (ClusterViolation on breach),
@@ -19,18 +19,48 @@
 // Because the superstep sequence is issued by the host, every algorithm
 // written against this API is *static* in the paper's sense: the number,
 // order and labels of supersteps depend only on the input size.
+//
+// Execution engines. An ExecutionPolicy passed at construction selects how
+// superstep bodies are driven:
+//
+//   Sequential — bodies run inline, in VP index order (the reference
+//     semantics).
+//   Parallel — the active VPs are partitioned into contiguous chunks over a
+//     persistent worker pool. Determinism is preserved structurally, not by
+//     locking: every VP stages its sends into a private per-VP outbox, each
+//     worker lane counts degrees into its own DegreeAccumulator, and the
+//     closing sync (single-threaded) merges outboxes in ascending sender
+//     index and folds the lane accumulators with commutative sums. Inbox
+//     contents and order, ClusterViolation detection, peak-inbox audit and
+//     the recorded Trace are therefore bit-identical to the sequential
+//     engine. If several VPs throw in one superstep, the exception of the
+//     lowest VP index propagates — the one the sequential engine would have
+//     hit first.
+//
+// Contract for parallel superstep bodies: a body may freely read host state
+// and write VP-private slots (values[vp.id()], state[vp.id()], disjoint
+// permutation targets, ...), but must not write host state shared with other
+// active VPs of the same superstep. All algorithms in this repository
+// conform.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bsp/execution.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nobl {
 
@@ -71,22 +101,23 @@ class Vp {
   /// send(m, q) of Section 2. The destination must lie in the sender's
   /// i-cluster, where i is the current superstep's label.
   void send(std::uint64_t dst, Payload data) {
-    machine_->enqueue(id_, dst, std::move(data));
+    machine_->enqueue(id_, lane_, dst, std::move(data));
   }
 
   /// Dummy traffic: counts toward degrees (and therefore wiseness) exactly
   /// like `count` unit messages, but carries no payload and is not delivered.
   void send_dummy(std::uint64_t dst, std::uint64_t count = 1) {
-    machine_->enqueue_dummy(id_, dst, count);
+    machine_->enqueue_dummy(id_, lane_, dst, count);
   }
 
  private:
   friend class Machine<Payload>;
-  Vp(Machine<Payload>* machine, std::uint64_t id)
-      : machine_(machine), id_(id) {}
+  Vp(Machine<Payload>* machine, std::uint64_t id, unsigned lane)
+      : machine_(machine), id_(id), lane_(lane) {}
 
   Machine<Payload>* machine_;
   std::uint64_t id_;
+  unsigned lane_;  ///< worker lane whose DegreeAccumulator this VP charges
 };
 
 template <typename Payload>
@@ -95,26 +126,32 @@ class Machine {
   using MessageT = Message<Payload>;
 
   /// Create an M(v). v must be a power of two (Section 2's assumption).
-  explicit Machine(std::uint64_t v)
-      : log_v_(log2_exact(v)), v_(v), trace_(log_v_) {
-    inbox_.resize(v_);
-    staging_.resize(v_);
-    const unsigned folds = log_v_ + 1;
-    sent_.resize(folds);
-    recv_.resize(folds);
-    touched_.resize(folds);
-    for (unsigned j = 0; j <= log_v_; ++j) {
-      sent_[j].assign(std::size_t{1} << j, 0);
-      recv_[j].assign(std::size_t{1} << j, 0);
+  explicit Machine(std::uint64_t v,
+                   ExecutionPolicy policy = ExecutionPolicy::sequential())
+      : log_v_(log2_exact(v)), v_(v), policy_(policy), trace_(log_v_) {
+    if (policy_.mode == ExecutionPolicy::Mode::kParallel &&
+        policy_.num_threads == 0) {
+      throw std::invalid_argument("Machine: parallel policy needs >= 1 thread");
     }
+    inbox_.resize(v_);
+    outbox_.resize(v_);
+    if (policy_.is_parallel()) {
+      pool_ = std::make_unique<WorkerPool>(policy_.num_threads);
+    }
+    const unsigned lanes = pool_ ? pool_->size() : 1;
+    lanes_.reserve(lanes);
+    for (unsigned w = 0; w < lanes; ++w) lanes_.emplace_back(log_v_);
   }
 
   [[nodiscard]] std::uint64_t v() const noexcept { return v_; }
   [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
+  [[nodiscard]] const ExecutionPolicy& policy() const noexcept {
+    return policy_;
+  }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
 
-  /// Execute one i-superstep: `body(vp)` runs for every VP in index order,
-  /// then the closing sync(i) delivers all messages sent during the body.
+  /// Execute one i-superstep: `body(vp)` runs for every VP, then the closing
+  /// sync(i) delivers all messages sent during the body.
   template <typename Body>
   void superstep(unsigned label, Body&& body) {
     superstep_range(label, 0, v_, std::forward<Body>(body));
@@ -127,10 +164,10 @@ class Machine {
   void superstep_range(unsigned label, std::uint64_t first, std::uint64_t last,
                        Body&& body) {
     begin_superstep(label);
-    for (std::uint64_t r = first; r < last; ++r) {
-      Vp<Payload> vp(this, r);
-      body(vp);
-    }
+    run_bodies(
+        first >= last ? 0 : last - first,
+        [first](std::uint64_t pos) { return first + pos; },
+        std::forward<Body>(body));
     end_superstep();
   }
 
@@ -152,9 +189,10 @@ class Machine {
       }
       previous = r;
       first = false;
-      Vp<Payload> vp(this, r);
-      body(vp);
     }
+    run_bodies(
+        active.size(), [active](std::uint64_t pos) { return active[pos]; },
+        std::forward<Body>(body));
     end_superstep();
   }
 
@@ -176,6 +214,12 @@ class Machine {
  private:
   friend class Vp<Payload>;
 
+  /// A send staged during the running superstep, private to its sender.
+  struct Staged {
+    std::uint64_t dst;
+    Payload data;
+  };
+
   void begin_superstep(unsigned label) {
     const unsigned label_bound = std::max(1u, log_v_);
     if (label >= label_bound) {
@@ -186,33 +230,81 @@ class Machine {
     }
     in_superstep_ = true;
     label_ = label;
-    messages_ = 0;
     record_.label = label;
     record_.degree.assign(log_v_ + 1, 0);
   }
 
-  void end_superstep() {
-    // Degrees: h(2^j) = max over processors of max(sent, received); the
-    // touched lists let us reset the counters in O(#touched).
-    for (unsigned j = 1; j <= log_v_; ++j) {
-      std::uint64_t peak = 0;
-      for (const std::uint64_t proc : touched_[j]) {
-        peak = std::max(peak, std::max<std::uint64_t>(sent_[j][proc],
-                                                      recv_[j][proc]));
-        sent_[j][proc] = 0;
-        recv_[j][proc] = 0;
+  /// Drive body(vp) over the `count` active VPs, where id_of(pos) maps the
+  /// position in the active set to a VP index. Sequential engine (or tiny
+  /// active sets): inline, in order. Parallel engine: contiguous chunks of
+  /// the active set per worker, each worker charging its own lane; the
+  /// lowest-VP exception wins, matching what sequential execution would
+  /// have thrown first. On a throw the other workers stop at their next VP
+  /// boundary — a throwing superstep leaves the machine unusable either
+  /// way, but bodies already in flight may have touched host state the
+  /// sequential engine would not have reached.
+  template <typename IdOf, typename Body>
+  void run_bodies(std::uint64_t count, IdOf&& id_of, Body&& body) {
+    if (!pool_ || count < 2) {
+      for (std::uint64_t pos = 0; pos < count; ++pos) {
+        Vp<Payload> vp(this, id_of(pos), 0);
+        body(vp);
       }
-      touched_[j].clear();
-      record_.degree[j] = peak;
+      return;
     }
-    record_.messages = messages_;
+    const unsigned workers = pool_->size();
+    const std::uint64_t chunk = (count + workers - 1) / workers;
+    // One slot per worker: the lowest active position whose body threw.
+    std::vector<std::uint64_t> error_pos(
+        workers, std::numeric_limits<std::uint64_t>::max());
+    std::vector<std::exception_ptr> error(workers);
+    std::atomic<bool> aborted{false};
+    pool_->run([&](unsigned w) {
+      const std::uint64_t lo = std::min<std::uint64_t>(w * chunk, count);
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, count);
+      for (std::uint64_t pos = lo; pos < hi; ++pos) {
+        if (aborted.load(std::memory_order_relaxed)) return;
+        try {
+          Vp<Payload> vp(this, id_of(pos), w);
+          body(vp);
+        } catch (...) {
+          error_pos[w] = pos;
+          error[w] = std::current_exception();
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+    unsigned first = workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      if (error[w] &&
+          (first == workers || error_pos[w] < error_pos[first])) {
+        first = w;
+      }
+    }
+    if (first != workers) std::rethrow_exception(error[first]);
+  }
+
+  void end_superstep() {
+    // Fold the worker lanes' degree counters into lane 0 (commutative sums,
+    // so the result is independent of how VPs were scheduled), then turn
+    // them into this superstep's degree vector.
+    for (std::size_t w = 1; w < lanes_.size(); ++w) lanes_[0].absorb(lanes_[w]);
+    lanes_[0].finalize_into(record_);
     trace_.append(std::move(record_));
     record_ = SuperstepRecord{};
 
-    // Deliver: staged messages become the next superstep's inboxes.
+    // Deliver: staged sends become the next superstep's inboxes, merged in
+    // ascending sender index (each outbox already holds its sender's
+    // messages in send order).
+    for (std::uint64_t r = 0; r < v_; ++r) inbox_[r].clear();
     for (std::uint64_t r = 0; r < v_; ++r) {
-      inbox_[r].swap(staging_[r]);
-      staging_[r].clear();
+      for (Staged& s : outbox_[r]) {
+        inbox_[s.dst].push_back(MessageT{r, std::move(s.data)});
+      }
+      outbox_[r].clear();
+    }
+    for (std::uint64_t r = 0; r < v_; ++r) {
       peak_inbox_ = std::max<std::uint64_t>(peak_inbox_, inbox_[r].size());
     }
     in_superstep_ = false;
@@ -230,56 +322,39 @@ class Machine {
     }
   }
 
-  void count_message(std::uint64_t src, std::uint64_t dst,
-                     std::uint64_t count) {
-    messages_ += count;
-    if (src == dst) return;
-    const std::uint64_t x = src ^ dst;
-    // The endpoints share cb most-significant bits; folds with j > cb place
-    // them on different processors.
-    const unsigned cb = log_v_ - static_cast<unsigned>(std::bit_width(x));
-    for (unsigned j = cb + 1; j <= log_v_; ++j) {
-      const std::uint64_t ps = src >> (log_v_ - j);
-      const std::uint64_t pd = dst >> (log_v_ - j);
-      if (sent_[j][ps] == 0 && recv_[j][ps] == 0) touched_[j].push_back(ps);
-      if (sent_[j][pd] == 0 && recv_[j][pd] == 0) touched_[j].push_back(pd);
-      sent_[j][ps] += count;
-      recv_[j][pd] += count;
-    }
-  }
-
-  void enqueue(std::uint64_t src, std::uint64_t dst, Payload data) {
+  void enqueue(std::uint64_t src, unsigned lane, std::uint64_t dst,
+               Payload data) {
     if (!in_superstep_) throw std::logic_error("Machine: send outside superstep");
     check_cluster(src, dst);
-    count_message(src, dst, 1);
-    staging_[dst].push_back(MessageT{src, std::move(data)});
+    lanes_[lane].count(src, dst, 1);
+    outbox_[src].push_back(Staged{dst, std::move(data)});
   }
 
-  void enqueue_dummy(std::uint64_t src, std::uint64_t dst,
+  void enqueue_dummy(std::uint64_t src, unsigned lane, std::uint64_t dst,
                      std::uint64_t count) {
     if (!in_superstep_) throw std::logic_error("Machine: send outside superstep");
     if (count == 0) return;
     check_cluster(src, dst);
-    count_message(src, dst, count);
+    lanes_[lane].count(src, dst, count);
   }
 
   unsigned log_v_;
   std::uint64_t v_;
+  ExecutionPolicy policy_;
   Trace trace_;
   std::uint64_t peak_inbox_ = 0;
 
   std::vector<std::vector<MessageT>> inbox_;
-  std::vector<std::vector<MessageT>> staging_;
+  /// outbox_[r]: messages VP r staged this superstep, in send order. Only
+  /// the owning VP touches it during the body; the sync merges and clears.
+  std::vector<std::vector<Staged>> outbox_;
+
+  std::unique_ptr<WorkerPool> pool_;  ///< null under the sequential engine
+  std::vector<DegreeAccumulator> lanes_;  ///< one per worker (1 if sequential)
 
   bool in_superstep_ = false;
   unsigned label_ = 0;
-  std::uint64_t messages_ = 0;
   SuperstepRecord record_;
-
-  // Per-fold degree counters, reset via touched lists after every superstep.
-  std::vector<std::vector<std::uint64_t>> sent_;
-  std::vector<std::vector<std::uint64_t>> recv_;
-  std::vector<std::vector<std::uint64_t>> touched_;
 };
 
 }  // namespace nobl

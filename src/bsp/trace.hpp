@@ -34,6 +34,45 @@ struct SuperstepRecord {
   std::uint64_t messages = 0;  ///< total VP-to-VP messages (incl. dummies)
 };
 
+/// Per-fold degree bookkeeping for one executed superstep.
+///
+/// The engine owns one accumulator per worker lane: counting a message only
+/// touches the lane of the VP that sent it, so superstep bodies never contend
+/// on the counters. At the closing sync the lanes are folded into lane 0
+/// (plain sums — commutative, hence independent of worker scheduling) and
+/// finalized into the SuperstepRecord's degree vector (max over processors of
+/// max(sent, received) at every fold 2^j). The sequential engine is the
+/// one-lane special case, so both engines share one code path and produce
+/// bit-identical records by construction.
+class DegreeAccumulator {
+ public:
+  DegreeAccumulator() = default;
+  explicit DegreeAccumulator(unsigned log_v);
+
+  /// Account `count` unit messages src -> dst at every fold that separates
+  /// the endpoints. Self-messages only contribute to the message total.
+  void count(std::uint64_t src, std::uint64_t dst, std::uint64_t count);
+
+  /// Fold `other` into this accumulator, resetting `other` for reuse.
+  void absorb(DegreeAccumulator& other);
+
+  /// Write degree[j] = h(2^j) and the message total into `record`, then
+  /// reset this accumulator for the next superstep. `record.degree` must be
+  /// pre-sized to log_v + 1.
+  void finalize_into(SuperstepRecord& record);
+
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  unsigned log_v_ = 0;
+  std::uint64_t messages_ = 0;
+  // sent_[j][q] / recv_[j][q]: messages processor q sends/receives at fold
+  // 2^j; touched_[j] lists the nonzero q so reset is O(#touched).
+  std::vector<std::vector<std::uint64_t>> sent_;
+  std::vector<std::vector<std::uint64_t>> recv_;
+  std::vector<std::vector<std::uint64_t>> touched_;
+};
+
 class Trace {
  public:
   Trace() = default;

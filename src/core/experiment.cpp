@@ -9,6 +9,17 @@
 
 namespace nobl {
 
+std::vector<AlgoRun> make_runs(const std::vector<std::uint64_t>& sizes,
+                               const PolicyRunner& runner,
+                               const ExecutionPolicy& policy) {
+  std::vector<AlgoRun> runs;
+  runs.reserve(sizes.size());
+  for (const std::uint64_t n : sizes) {
+    runs.push_back(AlgoRun{n, runner(n, policy)});
+  }
+  return runs;
+}
+
 std::vector<double> sigma_grid(std::uint64_t n, std::uint64_t p) {
   const double ratio = static_cast<double>(n) / static_cast<double>(p);
   std::vector<double> grid{0.0, 1.0, std::floor(std::sqrt(ratio)),

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bsp/cost.hpp"
+#include "bsp/execution.hpp"
 #include "bsp/trace.hpp"
 #include "core/optimality.hpp"
 #include "util/table.hpp"
@@ -23,6 +24,19 @@ struct AlgoRun {
   std::uint64_t n = 0;
   Trace trace;
 };
+
+/// Executes one specification-model run of size n under the given engine
+/// and returns its trace (the algorithm entry points all accept an
+/// ExecutionPolicy as their trailing parameter).
+using PolicyRunner =
+    std::function<Trace(std::uint64_t n, const ExecutionPolicy& policy)>;
+
+/// Produce the AlgoRun series for a size sweep under one engine. This is the
+/// single seam through which benches and CLIs select the engine (typically
+/// via execution_policy_from_env(), see bsp/execution.hpp).
+[[nodiscard]] std::vector<AlgoRun> make_runs(
+    const std::vector<std::uint64_t>& sizes, const PolicyRunner& runner,
+    const ExecutionPolicy& policy = ExecutionPolicy::sequential());
 
 /// Closed-form cost formula (n, p, σ) -> value.
 using CostFormula =

@@ -53,12 +53,13 @@ struct RoutedResult {
 /// M(p). Each (src, dst) must satisfy the i-superstep containment rule.
 template <typename T>
 RoutedResult<T> execute_ascend_descend(std::uint64_t p, unsigned label_i,
-                                       std::vector<RoutedMsg<T>> relation) {
+                                       std::vector<RoutedMsg<T>> relation,
+                                       ExecutionPolicy policy = {}) {
   if (!is_pow2(p) || p < 2) {
     throw std::invalid_argument("execute_ascend_descend: p must be a power "
                                 "of two >= 2");
   }
-  Machine<RoutedMsg<T>> machine(p);
+  Machine<RoutedMsg<T>> machine(p, policy);
   const unsigned log_p = machine.log_v();
   if (label_i >= log_p) {
     throw std::invalid_argument("execute_ascend_descend: label out of range");
@@ -130,7 +131,6 @@ RoutedResult<T> execute_ascend_descend(std::uint64_t p, unsigned label_i,
       }
     }
     const auto pref = prefix_in_clusters(cluster, count);
-    std::vector<std::vector<RoutedMsg<T>>> next(p);
     machine.superstep(label, [&](Vp<RoutedMsg<T>>& vp) {
       const std::uint64_t q = vp.id();
       std::uint64_t rank = pref[q];
@@ -145,12 +145,16 @@ RoutedResult<T> execute_ascend_descend(std::uint64_t p, unsigned label_i,
         const std::uint64_t slot = base + rank % size;
         ++rank;
         vp.send(slot, m);
-        next[slot].push_back(m);
       }
       buffer[q] = std::move(keep);
     });
+    // The receivers' buffers are the messages the machine just delivered —
+    // read them back from the inboxes, whose (sender index, send order)
+    // merge is the protocol's arrival order under either engine.
     for (std::uint64_t q = 0; q < p; ++q) {
-      for (auto& m : next[q]) buffer[q].push_back(std::move(m));
+      for (const auto& delivered : machine.inbox(q)) {
+        buffer[q].push_back(delivered.data);
+      }
     }
   };
 

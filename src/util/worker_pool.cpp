@@ -1,0 +1,79 @@
+#include "util/worker_pool.hpp"
+
+namespace nobl {
+
+WorkerPool::WorkerPool(unsigned size) : size_(size < 1 ? 1 : size) {
+  threads_.reserve(size_ - 1);
+  for (unsigned w = 1; w < size_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& job) {
+  if (size_ == 1) {
+    job(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    pending_ = size_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0.
+  std::exception_ptr caller_error;
+  try {
+    job(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  const std::exception_ptr error =
+      caller_error ? caller_error : first_error_;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void WorkerPool::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace nobl

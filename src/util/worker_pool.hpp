@@ -1,0 +1,57 @@
+// A persistent fork-join worker pool.
+//
+// The parallel execution engine issues one fork-join region per superstep;
+// spawning threads per superstep would dominate the runtime of the many
+// small supersteps the Section-4 schedules issue (bitonic sort runs
+// Θ(log² n) of them). The pool keeps its threads parked on a condition
+// variable between regions.
+//
+// run(job) executes job(w) exactly once for every worker index w in
+// [0, size()); worker 0 is the calling thread, so a pool of size k uses
+// k - 1 background threads and never oversubscribes the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nobl {
+
+class WorkerPool {
+ public:
+  /// A pool with `size` workers (clamped to >= 1).
+  explicit WorkerPool(unsigned size);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// Run job(w) for every worker index w, blocking until all complete.
+  /// If any invocation throws, one of the captured exceptions is rethrown
+  /// on the caller after the join (callers needing a *specific* exception
+  /// must catch inside the job; the engine does).
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned index);
+
+  unsigned size_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace nobl

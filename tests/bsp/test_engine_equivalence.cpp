@@ -1,0 +1,329 @@
+// Engine equivalence: the parallel execution engine must reproduce the
+// sequential engine bit-for-bit — delivered inboxes (contents AND order),
+// recorded traces (labels, per-fold degrees, message totals incl. dummies),
+// cluster-violation detection and the peak-inbox audit — on raw machine
+// workloads and on every kernel of the suite, across v ∈ {4, 16, 64} and
+// 1..8 worker threads.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/bitonic.hpp"
+#include "algorithms/broadcast.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/matmul_space.hpp"
+#include "algorithms/sort.hpp"
+#include "algorithms/stencil1d.hpp"
+#include "algorithms/stencil2d.hpp"
+#include "bsp/execution.hpp"
+#include "bsp/machine.hpp"
+#include "bsp/trace.hpp"
+#include "dbsp/routed_protocol.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nobl {
+namespace {
+
+constexpr std::uint64_t kMachineSizes[] = {4, 16, 64};
+constexpr unsigned kThreadCounts[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+void expect_traces_identical(const Trace& seq, const Trace& par) {
+  ASSERT_EQ(seq.log_v(), par.log_v());
+  ASSERT_EQ(seq.supersteps(), par.supersteps());
+  for (std::size_t s = 0; s < seq.supersteps(); ++s) {
+    const SuperstepRecord& a = seq.steps()[s];
+    const SuperstepRecord& b = par.steps()[s];
+    EXPECT_EQ(a.label, b.label) << "superstep " << s;
+    EXPECT_EQ(a.degree, b.degree) << "superstep " << s;
+    EXPECT_EQ(a.messages, b.messages) << "superstep " << s;
+  }
+}
+
+template <typename Payload>
+void expect_inboxes_identical(const Machine<Payload>& seq,
+                              const Machine<Payload>& par) {
+  ASSERT_EQ(seq.v(), par.v());
+  for (std::uint64_t r = 0; r < seq.v(); ++r) {
+    const auto& a = seq.inbox(r);
+    const auto& b = par.inbox(r);
+    ASSERT_EQ(a.size(), b.size()) << "VP " << r;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].src, b[k].src) << "VP " << r << " slot " << k;
+      EXPECT_EQ(a[k].data, b[k].data) << "VP " << r << " slot " << k;
+    }
+  }
+}
+
+// ---- Raw machine workload: lockstep superstep-by-superstep comparison. ----
+
+// A deterministic mixed workload: all-to-cluster real traffic, dummies,
+// self-messages, a range superstep and a sparse superstep.
+template <typename Step>
+void mixed_workload_steps(std::uint64_t v, unsigned log_v, Step&& step) {
+  step(/*index=*/0u, [v](Machine<int>& m) {
+    m.superstep(0, [v](Vp<int>& vp) {
+      vp.send((vp.id() * 5 + 3) % v, static_cast<int>(vp.id()));
+      vp.send(vp.id(), -1);
+      if (vp.id() + 1 < v) vp.send_dummy(vp.id() + 1, vp.id() % 3);
+    });
+  });
+  step(1u, [v](Machine<int>& m) {
+    m.superstep(0, [v](Vp<int>& vp) {
+      // Fan-in: everyone messages VP 0 twice (tests merge order of
+      // multiple sends from one VP).
+      vp.send(0, static_cast<int>(vp.id()) * 2);
+      vp.send(0, static_cast<int>(vp.id()) * 2 + 1);
+    });
+  });
+  step(2u, [v](Machine<int>& m) {
+    m.superstep_range(0, v / 4, (3 * v) / 4, [v](Vp<int>& vp) {
+      vp.send(v - 1 - vp.id(), static_cast<int>(vp.inbox().size()));
+    });
+  });
+  step(3u, [v, log_v](Machine<int>& m) {
+    std::vector<std::uint64_t> active;
+    for (std::uint64_t r = 0; r < v; r += 3) active.push_back(r);
+    const unsigned label = log_v >= 2 ? 1u : 0u;
+    m.superstep_sparse(label, active, [](Vp<int>& vp) {
+      // Stay inside the sender's 1-cluster.
+      vp.send(vp.id() ^ 1, static_cast<int>(vp.id()));
+      vp.send_dummy(vp.id() ^ 1, 2);
+    });
+  });
+}
+
+TEST(EngineEquivalence, MixedMachineWorkloadLockstep) {
+  for (const std::uint64_t v : kMachineSizes) {
+    for (const unsigned threads : kThreadCounts) {
+      Machine<int> seq(v);
+      Machine<int> par(v, ExecutionPolicy::parallel(threads));
+      const unsigned log_v = seq.log_v();
+      mixed_workload_steps(v, log_v, [&](unsigned, const auto& issue) {
+        issue(seq);
+        issue(par);
+        expect_inboxes_identical(seq, par);
+      });
+      expect_traces_identical(seq.trace(), par.trace());
+      EXPECT_EQ(seq.peak_inbox_messages(), par.peak_inbox_messages())
+          << "v=" << v << " threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineEquivalence, ClusterViolationDetectedInParallel) {
+  for (const unsigned threads : kThreadCounts) {
+    Machine<int> m(8, ExecutionPolicy::parallel(threads));
+    EXPECT_THROW(m.superstep(1,
+                             [](Vp<int>& vp) {
+                               if (vp.id() == 0) vp.send(4, 1);
+                             }),
+                 ClusterViolation);
+  }
+}
+
+// ---- Kernel matrix. ------------------------------------------------------
+
+TEST(EngineEquivalence, Broadcast) {
+  for (const std::uint64_t v : kMachineSizes) {
+    for (const std::uint64_t kappa : {std::uint64_t{2}, std::uint64_t{4}}) {
+      const BroadcastRun seq = broadcast_oblivious(v, kappa, 7);
+      for (const unsigned threads : kThreadCounts) {
+        const BroadcastRun par = broadcast_oblivious(
+            v, kappa, 7, ExecutionPolicy::parallel(threads));
+        EXPECT_EQ(seq.values, par.values) << "v=" << v << " threads=" << threads;
+        expect_traces_identical(seq.trace, par.trace);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, BitonicSort) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const auto keys = [&] {
+      Xoshiro256 rng(v);
+      std::vector<std::uint64_t> k(v);
+      for (auto& x : k) x = rng.below(1000);
+      return k;
+    }();
+    const BitonicRun seq = bitonic_sort_oblivious(keys);
+    for (const unsigned threads : kThreadCounts) {
+      const BitonicRun par =
+          bitonic_sort_oblivious(keys, ExecutionPolicy::parallel(threads));
+      EXPECT_EQ(seq.output, par.output) << "v=" << v << " threads=" << threads;
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, ColumnSort) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const auto keys = [&] {
+      Xoshiro256 rng(v + 1);
+      std::vector<std::uint64_t> k(v);
+      for (auto& x : k) x = rng.below(1u << 20);
+      return k;
+    }();
+    const SortRun seq = sort_oblivious(keys);
+    for (const unsigned threads : kThreadCounts) {
+      const SortRun par =
+          sort_oblivious(keys, true, ExecutionPolicy::parallel(threads));
+      EXPECT_EQ(seq.output, par.output) << "v=" << v << " threads=" << threads;
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, Fft) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const auto signal = [&] {
+      Xoshiro256 rng(v + 2);
+      std::vector<std::complex<double>> x(v);
+      for (auto& c : x) c = {rng.unit() * 2 - 1, rng.unit() * 2 - 1};
+      return x;
+    }();
+    const FftRun seq = fft_oblivious(signal);
+    for (const unsigned threads : kThreadCounts) {
+      const FftRun par =
+          fft_oblivious(signal, true, ExecutionPolicy::parallel(threads));
+      ASSERT_EQ(seq.output.size(), par.output.size());
+      for (std::size_t k = 0; k < seq.output.size(); ++k) {
+        // Bit-identical, not approximately equal: both engines execute the
+        // same floating-point operations per VP in the same order.
+        EXPECT_EQ(seq.output[k].real(), par.output[k].real()) << "k=" << k;
+        EXPECT_EQ(seq.output[k].imag(), par.output[k].imag()) << "k=" << k;
+      }
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, Matmul) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const std::uint64_t m = std::uint64_t{1} << (log2_exact(v) / 2);
+    Matrix<long> a(m, m), b(m, m);
+    Xoshiro256 rng(v + 3);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        a(i, j) = static_cast<long>(rng.below(64));
+        b(i, j) = static_cast<long>(rng.below(64));
+      }
+    }
+    const MatmulRun<long> seq = matmul_oblivious(a, b);
+    for (const unsigned threads : kThreadCounts) {
+      const MatmulRun<long> par =
+          matmul_oblivious(a, b, true, ExecutionPolicy::parallel(threads));
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          EXPECT_EQ(seq.c(i, j), par.c(i, j));
+        }
+      }
+      EXPECT_EQ(seq.peak_vp_entries, par.peak_vp_entries);
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, MatmulSpace) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const std::uint64_t m = std::uint64_t{1} << (log2_exact(v) / 2);
+    Matrix<long> a(m, m), b(m, m);
+    Xoshiro256 rng(v + 4);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        a(i, j) = static_cast<long>(rng.below(64));
+        b(i, j) = static_cast<long>(rng.below(64));
+      }
+    }
+    const MatmulSpaceRun<long> seq = matmul_space_oblivious(a, b);
+    for (const unsigned threads : kThreadCounts) {
+      const MatmulSpaceRun<long> par = matmul_space_oblivious(
+          a, b, true, ExecutionPolicy::parallel(threads));
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          EXPECT_EQ(seq.c(i, j), par.c(i, j));
+        }
+      }
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, Stencil1d) {
+  const auto heat = [](double l, double c, double r) {
+    return 0.25 * l + 0.5 * c + 0.25 * r;
+  };
+  for (const std::uint64_t v : kMachineSizes) {
+    const auto rod = [&] {
+      Xoshiro256 rng(v + 5);
+      std::vector<double> x(v);
+      for (auto& d : x) d = rng.unit();
+      return x;
+    }();
+    const Stencil1Run seq = stencil1_oblivious(rod, heat);
+    for (const unsigned threads : kThreadCounts) {
+      const Stencil1Run par = stencil1_oblivious(
+          rod, heat, true, 0, ExecutionPolicy::parallel(threads));
+      for (std::uint64_t t = 0; t < v; ++t) {
+        for (std::uint64_t x = 0; x < v; ++x) {
+          EXPECT_EQ(seq.grid(t, x), par.grid(t, x))
+              << "t=" << t << " x=" << x;
+        }
+      }
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, Stencil2dSchedule) {
+  for (const std::uint64_t v : kMachineSizes) {
+    const std::uint64_t n = std::uint64_t{1} << (log2_exact(v) / 2);
+    const Stencil2Run seq = stencil2_oblivious_schedule(n);
+    for (const unsigned threads : kThreadCounts) {
+      const Stencil2Run par = stencil2_oblivious_schedule(
+          n, true, 0, ExecutionPolicy::parallel(threads));
+      expect_traces_identical(seq.trace, par.trace);
+    }
+  }
+}
+
+TEST(EngineEquivalence, RoutedAscendDescend) {
+  for (const std::uint64_t p : kMachineSizes) {
+    for (const unsigned label : {0u, 1u}) {
+      // Random label-respecting relation, a few messages per processor.
+      Xoshiro256 rng(p + label);
+      std::vector<RoutedMsg<int>> relation;
+      const std::uint64_t cluster = p >> label;
+      for (std::uint64_t src = 0; src < p; ++src) {
+        const std::uint64_t base = src & ~(cluster - 1);
+        for (unsigned k = 0; k < 3; ++k) {
+          const std::uint64_t dst = base + rng.below(cluster);
+          relation.push_back(
+              RoutedMsg<int>{src, dst, static_cast<int>(src * 100 + k)});
+        }
+      }
+      const RoutedResult<int> seq = execute_ascend_descend(p, label, relation);
+      for (const unsigned threads : kThreadCounts) {
+        const RoutedResult<int> par = execute_ascend_descend(
+            p, label, relation, ExecutionPolicy::parallel(threads));
+        ASSERT_EQ(seq.delivered.size(), par.delivered.size());
+        for (std::uint64_t q = 0; q < p; ++q) {
+          ASSERT_EQ(seq.delivered[q].size(), par.delivered[q].size())
+              << "VP " << q;
+          for (std::size_t k = 0; k < seq.delivered[q].size(); ++k) {
+            EXPECT_EQ(seq.delivered[q][k].src, par.delivered[q][k].src);
+            EXPECT_EQ(seq.delivered[q][k].dst, par.delivered[q][k].dst);
+            EXPECT_EQ(seq.delivered[q][k].payload, par.delivered[q][k].payload);
+          }
+        }
+        expect_traces_identical(seq.trace, par.trace);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,87 @@
+#include "bsp/execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace nobl {
+namespace {
+
+// Scoped environment override (setenv/unsetenv are process-global; these
+// tests run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ExecutionPolicy, DefaultIsSequential) {
+  const ExecutionPolicy policy;
+  EXPECT_EQ(policy.mode, ExecutionPolicy::Mode::kSequential);
+  EXPECT_FALSE(policy.is_parallel());
+  EXPECT_EQ(policy, ExecutionPolicy::sequential());
+}
+
+TEST(ExecutionPolicy, ParallelPicksHardwareWhenZero) {
+  const ExecutionPolicy policy = ExecutionPolicy::parallel(0);
+  EXPECT_EQ(policy.mode, ExecutionPolicy::Mode::kParallel);
+  EXPECT_GE(policy.num_threads, 1u);
+}
+
+TEST(ExecutionPolicy, SingleThreadParallelIsNotDispatched) {
+  EXPECT_FALSE(ExecutionPolicy::parallel(1).is_parallel());
+  EXPECT_TRUE(ExecutionPolicy::parallel(2).is_parallel());
+}
+
+TEST(ExecutionPolicy, ToString) {
+  EXPECT_EQ(to_string(ExecutionPolicy::sequential()), "seq");
+  EXPECT_EQ(to_string(ExecutionPolicy::parallel(6)), "par:6");
+}
+
+TEST(ExecutionPolicy, FromEnvDefaultsSequential) {
+  const ScopedEnv engine("NOBL_ENGINE", nullptr);
+  EXPECT_EQ(execution_policy_from_env(), ExecutionPolicy::sequential());
+}
+
+TEST(ExecutionPolicy, FromEnvParsesEngineAndThreads) {
+  const ScopedEnv engine("NOBL_ENGINE", "par");
+  const ScopedEnv threads("NOBL_THREADS", "5");
+  const ExecutionPolicy policy = execution_policy_from_env();
+  EXPECT_EQ(policy.mode, ExecutionPolicy::Mode::kParallel);
+  EXPECT_EQ(policy.num_threads, 5u);
+}
+
+TEST(ExecutionPolicy, FromEnvAcceptsLongNames) {
+  {
+    const ScopedEnv engine("NOBL_ENGINE", "sequential");
+    EXPECT_EQ(execution_policy_from_env(), ExecutionPolicy::sequential());
+  }
+  {
+    const ScopedEnv engine("NOBL_ENGINE", "parallel");
+    EXPECT_EQ(execution_policy_from_env().mode,
+              ExecutionPolicy::Mode::kParallel);
+  }
+}
+
+TEST(ExecutionPolicy, FromEnvRejectsGarbage) {
+  const ScopedEnv engine("NOBL_ENGINE", "warp-drive");
+  EXPECT_THROW((void)execution_policy_from_env(), std::invalid_argument);
+}
+
+TEST(ExecutionPolicy, FromEnvRejectsBadThreadCount) {
+  const ScopedEnv engine("NOBL_ENGINE", "par");
+  const ScopedEnv threads("NOBL_THREADS", "-3");
+  EXPECT_THROW((void)execution_policy_from_env(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

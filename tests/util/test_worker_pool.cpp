@@ -1,0 +1,77 @@
+#include "util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nobl {
+namespace {
+
+TEST(WorkerPool, SizeClampedToAtLeastOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(WorkerPool, RunsJobOncePerWorker) {
+  for (const unsigned size : {1u, 2u, 4u, 7u}) {
+    WorkerPool pool(size);
+    std::vector<std::atomic<int>> hits(size);
+    pool.run([&](unsigned w) { hits[w].fetch_add(1); });
+    for (unsigned w = 0; w < size; ++w) {
+      EXPECT_EQ(hits[w].load(), 1) << "worker " << w;
+    }
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManyRegions) {
+  WorkerPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int region = 0; region < 100; ++region) {
+    pool.run([&](unsigned w) { sum.fetch_add(w + 1); });
+  }
+  EXPECT_EQ(sum.load(), 100u * (1 + 2 + 3 + 4));
+}
+
+TEST(WorkerPool, ChunkedSumMatchesSequential) {
+  constexpr std::uint64_t kN = 10000;
+  std::vector<std::uint64_t> data(kN);
+  std::iota(data.begin(), data.end(), 1);
+  WorkerPool pool(3);
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  const std::uint64_t chunk = (kN + pool.size() - 1) / pool.size();
+  pool.run([&](unsigned w) {
+    const std::uint64_t lo = std::min<std::uint64_t>(w * chunk, kN);
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, kN);
+    for (std::uint64_t i = lo; i < hi; ++i) partial[w] += data[i];
+  });
+  const std::uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, kN * (kN + 1) / 2);
+}
+
+TEST(WorkerPool, PropagatesJobException) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.run([](unsigned w) {
+    if (w == 2) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The pool survives a throwing region.
+  std::atomic<int> ran{0};
+  pool.run([&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(WorkerPool, PropagatesCallerThreadException) {
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.run([](unsigned w) {
+    if (w == 0) throw std::logic_error("caller");
+  }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace nobl
