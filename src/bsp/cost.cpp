@@ -5,7 +5,14 @@
 
 namespace nobl {
 
+void DbspParams::validate() const {
+  if (ell.size() != g.size()) {
+    throw std::invalid_argument("DbspParams: g/ell size mismatch");
+  }
+}
+
 bool DbspParams::monotone() const {
+  validate();
   for (std::size_t i = 0; i + 1 < g.size(); ++i) {
     if (g[i] < g[i + 1]) return false;
     if (g[i] <= 0 || g[i + 1] <= 0) return false;
@@ -15,6 +22,7 @@ bool DbspParams::monotone() const {
 }
 
 double DbspParams::max_ell_over_g() const {
+  validate();
   double best = 0.0;
   for (std::size_t i = 0; i < g.size(); ++i) {
     best = std::max(best, ell[i] / g[i]);
@@ -22,18 +30,19 @@ double DbspParams::max_ell_over_g() const {
   return best;
 }
 
+// The cost queries below are O(log p) (communication_complexity O(1)) over
+// the trace's memoized per-label tables instead of O(supersteps) rescans —
+// certify_optimality and the bench tables evaluate them inside nested
+// fold × σ sweeps, so this is the analysis hot path.
+
 double communication_complexity(const Trace& trace, unsigned log_p,
                                 double sigma) {
   if (log_p > trace.log_v()) {
     throw std::out_of_range("communication_complexity: fold too large");
   }
-  double total = 0.0;
-  for (const auto& s : trace.steps()) {
-    if (s.label < log_p) {
-      total += static_cast<double>(s.degree[log_p]) + sigma;
-    }
-  }
-  return total;
+  // Eq. (1): Σ_{i < log p} (F^i + S^i σ) = total_F + σ · total_S.
+  return static_cast<double>(trace.total_F(log_p)) +
+         sigma * static_cast<double>(trace.total_S(log_p));
 }
 
 double communication_time(const Trace& trace, const DbspParams& params) {
@@ -41,15 +50,14 @@ double communication_time(const Trace& trace, const DbspParams& params) {
   if (log_p > trace.log_v()) {
     throw std::out_of_range("communication_time: fold too large");
   }
-  if (params.ell.size() != params.g.size()) {
-    throw std::invalid_argument("communication_time: g/ell size mismatch");
-  }
+  params.validate();
+  // Eq. (2): Σ_{i < log p} (F^i(n, p) g_i + S^i(n) ℓ_i).
   double total = 0.0;
-  for (const auto& s : trace.steps()) {
-    if (s.label < log_p) {
-      total += static_cast<double>(s.degree[log_p]) * params.g[s.label] +
-               params.ell[s.label];
-    }
+  for (unsigned i = 0; i < log_p; ++i) {
+    const std::uint64_t s = trace.S(i);
+    if (s == 0) continue;
+    total += static_cast<double>(trace.F(i, log_p)) * params.g[i] +
+             static_cast<double>(s) * params.ell[i];
   }
   return total;
 }
@@ -60,12 +68,13 @@ std::vector<double> communication_time_by_level(const Trace& trace,
   if (log_p > trace.log_v()) {
     throw std::out_of_range("communication_time_by_level: fold too large");
   }
+  params.validate();
   std::vector<double> out(log_p, 0.0);
-  for (const auto& s : trace.steps()) {
-    if (s.label < log_p) {
-      out[s.label] += static_cast<double>(s.degree[log_p]) * params.g[s.label] +
-                      params.ell[s.label];
-    }
+  for (unsigned i = 0; i < log_p; ++i) {
+    const std::uint64_t s = trace.S(i);
+    if (s == 0) continue;
+    out[i] = static_cast<double>(trace.F(i, log_p)) * params.g[i] +
+             static_cast<double>(s) * params.ell[i];
   }
   return out;
 }

@@ -30,10 +30,16 @@ struct DbspParams {
     return std::uint64_t{1} << log_p();
   }
 
+  /// Throws std::invalid_argument unless ell.size() == g.size(). Called by
+  /// every accessor that indexes both vectors in lockstep.
+  void validate() const;
+
   /// Theorem 3.4's structural hypotheses: g_i and ℓ_i/g_i non-increasing.
+  /// Throws std::invalid_argument on a g/ell size mismatch.
   [[nodiscard]] bool monotone() const;
 
   /// max_i ℓ_i / g_i — the quantity bounded by the theorem's σ^M condition.
+  /// Throws std::invalid_argument on a g/ell size mismatch.
   [[nodiscard]] double max_ell_over_g() const;
 };
 

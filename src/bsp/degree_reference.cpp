@@ -1,0 +1,78 @@
+#include "bsp/degree_reference.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace nobl {
+
+ReferenceDegreeAccumulator::ReferenceDegreeAccumulator(unsigned log_v)
+    : log_v_(log_v) {
+  const unsigned folds = log_v_ + 1;
+  sent_.resize(folds);
+  recv_.resize(folds);
+  touched_.resize(folds);
+  for (unsigned j = 0; j <= log_v_; ++j) {
+    sent_[j].assign(std::size_t{1} << j, 0);
+    recv_[j].assign(std::size_t{1} << j, 0);
+  }
+}
+
+void ReferenceDegreeAccumulator::count(std::uint64_t src, std::uint64_t dst,
+                                       std::uint64_t count) {
+  messages_ += count;
+  if (src == dst) return;
+  const std::uint64_t x = src ^ dst;
+  // The endpoints share cb most-significant bits; folds with j > cb place
+  // them on different processors.
+  const unsigned cb = log_v_ - static_cast<unsigned>(std::bit_width(x));
+  for (unsigned j = cb + 1; j <= log_v_; ++j) {
+    const std::uint64_t ps = src >> (log_v_ - j);
+    const std::uint64_t pd = dst >> (log_v_ - j);
+    if (sent_[j][ps] == 0 && recv_[j][ps] == 0) touched_[j].push_back(ps);
+    if (sent_[j][pd] == 0 && recv_[j][pd] == 0) touched_[j].push_back(pd);
+    sent_[j][ps] += count;
+    recv_[j][pd] += count;
+  }
+}
+
+void ReferenceDegreeAccumulator::absorb(ReferenceDegreeAccumulator& other) {
+  if (other.log_v_ != log_v_) {
+    throw std::invalid_argument(
+        "ReferenceDegreeAccumulator::absorb: fold mismatch");
+  }
+  messages_ += other.messages_;
+  other.messages_ = 0;
+  for (unsigned j = 1; j <= log_v_; ++j) {
+    for (const std::uint64_t q : other.touched_[j]) {
+      if (sent_[j][q] == 0 && recv_[j][q] == 0) touched_[j].push_back(q);
+      sent_[j][q] += other.sent_[j][q];
+      recv_[j][q] += other.recv_[j][q];
+      other.sent_[j][q] = 0;
+      other.recv_[j][q] = 0;
+    }
+    other.touched_[j].clear();
+  }
+}
+
+void ReferenceDegreeAccumulator::finalize_into(SuperstepRecord& record) {
+  if (record.degree.size() != static_cast<std::size_t>(log_v_) + 1) {
+    throw std::invalid_argument(
+        "ReferenceDegreeAccumulator::finalize_into: degree vector size "
+        "mismatch");
+  }
+  for (unsigned j = 1; j <= log_v_; ++j) {
+    std::uint64_t peak = 0;
+    for (const std::uint64_t q : touched_[j]) {
+      peak = std::max(peak, std::max(sent_[j][q], recv_[j][q]));
+      sent_[j][q] = 0;
+      recv_[j][q] = 0;
+    }
+    touched_[j].clear();
+    record.degree[j] = peak;
+  }
+  record.messages = messages_;
+  messages_ = 0;
+}
+
+}  // namespace nobl

@@ -1,0 +1,55 @@
+// Reference degree accounting: the straightforward O(log v)-per-message
+// accumulator, retained verbatim as the oracle for the production
+// DegreeAccumulator (bsp/trace.hpp), which buckets each message in O(1) and
+// defers the per-fold work to the closing sync.
+//
+// Every message src -> dst is folded onto all log v machine sizes as it is
+// counted: for each fold 2^j that separates the endpoints, the sender's and
+// receiver's processors at that fold are credited immediately. This is easy
+// to audit against the paper's degree definition (Section 2) but puts a
+// Θ(log v) loop on the per-message hot path. The differential test
+// (tests/bsp/test_degree_differential.cpp) replays randomized message
+// patterns through both implementations and asserts identical
+// SuperstepRecords; bench/bench_trace_hotpath.cpp measures the speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/trace.hpp"
+
+namespace nobl {
+
+/// Drop-in interface twin of DegreeAccumulator with the historical
+/// fold-per-message bookkeeping. Not used by the engine; kept for
+/// differential tests and as the bench baseline.
+class ReferenceDegreeAccumulator {
+ public:
+  ReferenceDegreeAccumulator() = default;
+  explicit ReferenceDegreeAccumulator(unsigned log_v);
+
+  /// Account `count` unit messages src -> dst at every fold that separates
+  /// the endpoints. Self-messages only contribute to the message total.
+  void count(std::uint64_t src, std::uint64_t dst, std::uint64_t count);
+
+  /// Fold `other` into this accumulator, resetting `other` for reuse.
+  void absorb(ReferenceDegreeAccumulator& other);
+
+  /// Write degree[j] = h(2^j) and the message total into `record`, then
+  /// reset this accumulator for the next superstep. `record.degree` must be
+  /// pre-sized to log_v + 1.
+  void finalize_into(SuperstepRecord& record);
+
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  unsigned log_v_ = 0;
+  std::uint64_t messages_ = 0;
+  // sent_[j][q] / recv_[j][q]: messages processor q sends/receives at fold
+  // 2^j; touched_[j] lists the nonzero q so reset is O(#touched).
+  std::vector<std::vector<std::uint64_t>> sent_;
+  std::vector<std::vector<std::uint64_t>> recv_;
+  std::vector<std::vector<std::uint64_t>> touched_;
+};
+
+}  // namespace nobl

@@ -10,7 +10,9 @@
 //   * runs the superstep body once per virtual processor (in index order
 //     under the sequential engine; see below for the parallel engine),
 //   * routes real message payloads into the recipients' next-superstep
-//     inboxes (delivery order = sender index, then send order),
+//     inboxes (delivery order = sender index, then send order; delivery is
+//     CSR-style two-pass — count per destination, reserve once, fill — so
+//     the sync never reallocates mid-merge),
 //   * enforces the cluster-containment rule (ClusterViolation on breach),
 //   * records the exact degree of the superstep at every folding 2^j
 //     (see bsp/trace.hpp), including "dummy" messages — the paper's device
@@ -135,6 +137,7 @@ class Machine {
     }
     inbox_.resize(v_);
     outbox_.resize(v_);
+    inbox_count_.resize(v_);
     if (policy_.is_parallel()) {
       pool_ = std::make_unique<WorkerPool>(policy_.num_threads);
     }
@@ -221,8 +224,7 @@ class Machine {
   };
 
   void begin_superstep(unsigned label) {
-    const unsigned label_bound = std::max(1u, log_v_);
-    if (label >= label_bound) {
+    if (label >= trace_.label_bound()) {
       throw std::invalid_argument("Machine: superstep label out of range");
     }
     if (in_superstep_) {
@@ -296,16 +298,24 @@ class Machine {
 
     // Deliver: staged sends become the next superstep's inboxes, merged in
     // ascending sender index (each outbox already holds its sender's
-    // messages in send order).
-    for (std::uint64_t r = 0; r < v_; ++r) inbox_[r].clear();
+    // messages in send order). CSR-style two-pass: count per-destination
+    // sizes so every inbox grows exactly once (no geometric reallocation on
+    // the delivery path), then fill in the same ascending-sender order the
+    // per-message push_back used — delivery order is byte-identical.
+    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+    for (std::uint64_t r = 0; r < v_; ++r) {
+      for (const Staged& s : outbox_[r]) ++inbox_count_[s.dst];
+    }
+    for (std::uint64_t r = 0; r < v_; ++r) {
+      inbox_[r].clear();
+      inbox_[r].reserve(inbox_count_[r]);
+      peak_inbox_ = std::max(peak_inbox_, inbox_count_[r]);
+    }
     for (std::uint64_t r = 0; r < v_; ++r) {
       for (Staged& s : outbox_[r]) {
         inbox_[s.dst].push_back(MessageT{r, std::move(s.data)});
       }
       outbox_[r].clear();
-    }
-    for (std::uint64_t r = 0; r < v_; ++r) {
-      peak_inbox_ = std::max<std::uint64_t>(peak_inbox_, inbox_[r].size());
     }
     in_superstep_ = false;
   }
@@ -348,6 +358,8 @@ class Machine {
   /// outbox_[r]: messages VP r staged this superstep, in send order. Only
   /// the owning VP touches it during the body; the sync merges and clears.
   std::vector<std::vector<Staged>> outbox_;
+  /// Per-destination delivery sizes, recomputed each sync (CSR first pass).
+  std::vector<std::uint64_t> inbox_count_;
 
   std::unique_ptr<WorkerPool> pool_;  ///< null under the sequential engine
   std::vector<DegreeAccumulator> lanes_;  ///< one per worker (1 if sequential)

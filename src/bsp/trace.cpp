@@ -4,33 +4,16 @@
 
 namespace nobl {
 
-DegreeAccumulator::DegreeAccumulator(unsigned log_v) : log_v_(log_v) {
-  const unsigned folds = log_v_ + 1;
-  sent_.resize(folds);
-  recv_.resize(folds);
-  touched_.resize(folds);
-  for (unsigned j = 0; j <= log_v_; ++j) {
-    sent_[j].assign(std::size_t{1} << j, 0);
-    recv_[j].assign(std::size_t{1} << j, 0);
-  }
-}
+DegreeAccumulator::DegreeAccumulator(unsigned log_v) : log_v_(log_v) {}
 
-void DegreeAccumulator::count(std::uint64_t src, std::uint64_t dst,
-                              std::uint64_t count) {
-  messages_ += count;
-  if (src == dst) return;
-  const std::uint64_t x = src ^ dst;
-  // The endpoints share cb most-significant bits; folds with j > cb place
-  // them on different processors.
-  const unsigned cb = log_v_ - static_cast<unsigned>(std::bit_width(x));
-  for (unsigned j = cb + 1; j <= log_v_; ++j) {
-    const std::uint64_t ps = src >> (log_v_ - j);
-    const std::uint64_t pd = dst >> (log_v_ - j);
-    if (sent_[j][ps] == 0 && recv_[j][ps] == 0) touched_[j].push_back(ps);
-    if (sent_[j][pd] == 0 && recv_[j][pd] == 0) touched_[j].push_back(pd);
-    sent_[j][ps] += count;
-    recv_[j][pd] += count;
-  }
+void DegreeAccumulator::allocate_lanes() {
+  const std::size_t v = std::size_t{1} << log_v_;
+  sent_fine_.assign(v * log_v_, 0);
+  recv_fine_.assign(v * log_v_, 0);
+  active_.assign(v, 0);
+  // The cluster scratch stays unallocated here: under the parallel engine
+  // every lane counts, but only lane 0 (the absorb target) ever finalizes,
+  // so finalize_into sizes it on first use instead.
 }
 
 void DegreeAccumulator::absorb(DegreeAccumulator& other) {
@@ -39,16 +22,19 @@ void DegreeAccumulator::absorb(DegreeAccumulator& other) {
   }
   messages_ += other.messages_;
   other.messages_ = 0;
-  for (unsigned j = 1; j <= log_v_; ++j) {
-    for (const std::uint64_t q : other.touched_[j]) {
-      if (sent_[j][q] == 0 && recv_[j][q] == 0) touched_[j].push_back(q);
-      sent_[j][q] += other.sent_[j][q];
-      recv_[j][q] += other.recv_[j][q];
-      other.sent_[j][q] = 0;
-      other.recv_[j][q] = 0;
+  if (!other.touched_.empty() && active_.empty()) allocate_lanes();
+  for (const std::uint64_t r : other.touched_) {
+    touch(r);
+    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
+    for (unsigned cb = 0; cb < log_v_; ++cb) {
+      sent_fine_[base + cb] += other.sent_fine_[base + cb];
+      recv_fine_[base + cb] += other.recv_fine_[base + cb];
+      other.sent_fine_[base + cb] = 0;
+      other.recv_fine_[base + cb] = 0;
     }
-    other.touched_[j].clear();
+    other.active_[r] = 0;
   }
+  other.touched_.clear();
 }
 
 void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
@@ -56,16 +42,52 @@ void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
     throw std::invalid_argument(
         "DegreeAccumulator::finalize_into: degree vector size mismatch");
   }
-  for (unsigned j = 1; j <= log_v_; ++j) {
-    std::uint64_t peak = 0;
-    for (const std::uint64_t q : touched_[j]) {
-      peak = std::max(peak, std::max(sent_[j][q], recv_[j][q]));
-      sent_[j][q] = 0;
-      recv_[j][q] = 0;
+  // Prefix over crossing levels: after this pass, lane j-1 of VP r holds the
+  // number of messages r sent (received) that cross fold 2^j, i.e. the sum of
+  // its lanes with cb < j.
+  for (const std::uint64_t r : touched_) {
+    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
+    for (unsigned cb = 1; cb < log_v_; ++cb) {
+      sent_fine_[base + cb] += sent_fine_[base + cb - 1];
+      recv_fine_[base + cb] += recv_fine_[base + cb - 1];
     }
-    touched_[j].clear();
+  }
+  if (!touched_.empty() && cluster_active_.empty()) {
+    const std::size_t v = std::size_t{1} << log_v_;
+    cluster_sent_.assign(v, 0);
+    cluster_recv_.assign(v, 0);
+    cluster_active_.assign(v, 0);
+  }
+  // Per fold, reduce the touched VPs' prefixes onto their clusters and take
+  // the peak: h(2^j) = max over processors of max(sent, received).
+  for (unsigned j = 1; j <= log_v_; ++j) {
+    for (const std::uint64_t r : touched_) {
+      const std::uint64_t q = r >> (log_v_ - j);
+      if (!cluster_active_[q]) {
+        cluster_active_[q] = 1;
+        cluster_touched_.push_back(q);
+      }
+      const std::size_t base = static_cast<std::size_t>(r) * log_v_;
+      cluster_sent_[q] += sent_fine_[base + j - 1];
+      cluster_recv_[q] += recv_fine_[base + j - 1];
+    }
+    std::uint64_t peak = 0;
+    for (const std::uint64_t q : cluster_touched_) {
+      peak = std::max(peak, std::max(cluster_sent_[q], cluster_recv_[q]));
+      cluster_sent_[q] = 0;
+      cluster_recv_[q] = 0;
+      cluster_active_[q] = 0;
+    }
+    cluster_touched_.clear();
     record.degree[j] = peak;
   }
+  for (const std::uint64_t r : touched_) {
+    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
+    std::fill(sent_fine_.begin() + base, sent_fine_.begin() + base + log_v_, 0);
+    std::fill(recv_fine_.begin() + base, recv_fine_.begin() + base + log_v_, 0);
+    active_[r] = 0;
+  }
+  touched_.clear();
   record.messages = messages_;
   messages_ = 0;
 }
@@ -74,75 +96,88 @@ void Trace::append(SuperstepRecord record) {
   if (record.degree.size() != static_cast<std::size_t>(log_v_) + 1) {
     throw std::invalid_argument("Trace::append: degree vector size mismatch");
   }
-  const unsigned label_bound = std::max(1u, log_v_);
-  if (record.label >= label_bound) {
+  if (record.label >= label_bound()) {
     throw std::invalid_argument("Trace::append: label out of range");
   }
   if (record.degree[0] != 0) {
     throw std::invalid_argument("Trace::append: nonzero degree at fold p=1");
   }
+  total_messages_ += record.messages;
+  max_label_ = std::max(max_label_, record.label);
+  cache_valid_ = false;
   steps_.push_back(std::move(record));
 }
 
-std::uint64_t Trace::S(unsigned label) const {
-  std::uint64_t count = 0;
+void Trace::ensure_cache() const {
+  if (cache_valid_) return;
+  const unsigned bound = label_bound();
+  const std::size_t folds = static_cast<std::size_t>(log_v_) + 1;
+  label_F_.assign(bound * folds, 0);
+  label_peak_.assign(bound * folds, 0);
+  label_S_.assign(bound, 0);
   for (const auto& s : steps_) {
-    if (s.label == label) ++count;
+    const std::size_t base = s.label * folds;
+    ++label_S_[s.label];
+    for (std::size_t j = 0; j < folds; ++j) {
+      label_F_[base + j] += s.degree[j];
+      label_peak_[base + j] = std::max(label_peak_[base + j], s.degree[j]);
+    }
   }
-  return count;
+  cum_F_.assign((bound + 1) * folds, 0);
+  cum_S_.assign(bound + 1, 0);
+  for (unsigned i = 0; i < bound; ++i) {
+    cum_S_[i + 1] = cum_S_[i] + label_S_[i];
+    for (std::size_t j = 0; j < folds; ++j) {
+      cum_F_[(i + 1) * folds + j] =
+          cum_F_[i * folds + j] + label_F_[i * folds + j];
+    }
+  }
+  cache_valid_ = true;
+}
+
+std::uint64_t Trace::S(unsigned label) const {
+  ensure_cache();
+  return label < label_bound() ? label_S_[label] : 0;
 }
 
 std::uint64_t Trace::F(unsigned label, unsigned log_p) const {
   check_log_p(log_p);
-  std::uint64_t sum = 0;
-  for (const auto& s : steps_) {
-    if (s.label == label) sum += s.degree[log_p];
-  }
-  return sum;
+  ensure_cache();
+  if (label >= label_bound()) return 0;
+  return label_F_[label * (static_cast<std::size_t>(log_v_) + 1) + log_p];
 }
 
 std::uint64_t Trace::total_F(unsigned log_p) const {
-  check_log_p(log_p);
-  std::uint64_t sum = 0;
-  for (const auto& s : steps_) {
-    if (s.label < log_p) sum += s.degree[log_p];
-  }
-  return sum;
+  return partial_F(log_p, log_p);
 }
 
 std::uint64_t Trace::partial_F(unsigned label_bound, unsigned log_p) const {
   check_log_p(log_p);
-  std::uint64_t sum = 0;
-  for (const auto& s : steps_) {
-    if (s.label < label_bound) sum += s.degree[log_p];
-  }
-  return sum;
+  ensure_cache();
+  const unsigned clamped = std::min(label_bound, this->label_bound());
+  return cum_F_[clamped * (static_cast<std::size_t>(log_v_) + 1) + log_p];
 }
 
 std::uint64_t Trace::total_S(unsigned log_p) const {
-  std::uint64_t count = 0;
-  for (const auto& s : steps_) {
-    if (s.label < log_p) ++count;
-  }
-  return count;
+  check_log_p(log_p);
+  ensure_cache();
+  return cum_S_[std::min(log_p, label_bound())];
 }
 
-std::uint64_t Trace::total_messages() const {
-  std::uint64_t sum = 0;
-  for (const auto& s : steps_) sum += s.messages;
-  return sum;
-}
-
-unsigned Trace::max_label() const {
-  unsigned m = 0;
-  for (const auto& s : steps_) m = std::max(m, s.label);
-  return m;
+std::uint64_t Trace::peak_degree(unsigned label, unsigned log_p) const {
+  check_log_p(log_p);
+  ensure_cache();
+  if (label >= label_bound()) return 0;
+  return label_peak_[label * (static_cast<std::size_t>(log_v_) + 1) + log_p];
 }
 
 void Trace::extend(const Trace& other) {
   if (other.log_v_ != log_v_) {
     throw std::invalid_argument("Trace::extend: incompatible machine sizes");
   }
+  total_messages_ += other.total_messages_;
+  max_label_ = std::max(max_label_, other.max_label_);
+  cache_valid_ = false;
   steps_.insert(steps_.end(), other.steps_.begin(), other.steps_.end());
 }
 

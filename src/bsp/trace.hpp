@@ -14,8 +14,14 @@
 // received), counting only messages whose endpoints fold onto *different*
 // processors (messages between VPs folded onto the same processor become
 // local memory traffic; cf. the folding discussion before Lemma 3.1).
+//
+// Because the metric sweeps (wiseness α, fullness γ, certify_optimality, the
+// bench tables) evaluate S/F-style sums inside nested fold × σ loops, Trace
+// memoizes per-label cumulative tables so every accessor answers in O(1)
+// after an O(supersteps · log v) build; see the cache notes on Trace below.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -44,6 +50,19 @@ struct SuperstepRecord {
 /// max(sent, received) at every fold 2^j). The sequential engine is the
 /// one-lane special case, so both engines share one code path and produce
 /// bit-identical records by construction.
+///
+/// Representation. A message src -> dst whose endpoints share exactly cb
+/// most-significant index bits crosses precisely the folds 2^j with j > cb,
+/// and at every such fold the sender's (receiver's) processor is the cluster
+/// containing src (dst). count() therefore buckets the message once, by its
+/// finest-fold endpoints and crossing level — sent_fine[src][cb] and
+/// recv_fine[dst][cb] — in O(1), instead of walking all log v folds.
+/// finalize_into() recovers h(2^j) for every fold at the closing sync with a
+/// prefix over crossing levels per touched VP followed by a bottom-up cluster
+/// reduction per fold: O(t · log v) for t touched VPs, independent of the
+/// number of messages counted. The historical fold-per-message implementation
+/// is retained as ReferenceDegreeAccumulator (bsp/degree_reference.hpp) and
+/// checked against this one by tests/bsp/test_degree_differential.cpp.
 class DegreeAccumulator {
  public:
   DegreeAccumulator() = default;
@@ -51,28 +70,72 @@ class DegreeAccumulator {
 
   /// Account `count` unit messages src -> dst at every fold that separates
   /// the endpoints. Self-messages only contribute to the message total.
-  void count(std::uint64_t src, std::uint64_t dst, std::uint64_t count);
+  /// O(1) per call (the per-fold work is deferred to finalize_into).
+  void count(std::uint64_t src, std::uint64_t dst, std::uint64_t count) {
+    messages_ += count;
+    if (src == dst) return;
+    if (active_.empty()) allocate_lanes();
+    // The endpoints share cb most-significant bits; folds with j > cb place
+    // them on different processors.
+    const unsigned cb =
+        log_v_ - static_cast<unsigned>(std::bit_width(src ^ dst));
+    touch(src);
+    touch(dst);
+    sent_fine_[src * log_v_ + cb] += count;
+    recv_fine_[dst * log_v_ + cb] += count;
+  }
 
   /// Fold `other` into this accumulator, resetting `other` for reuse.
+  /// O(t · log v) for t VPs touched in `other`.
   void absorb(DegreeAccumulator& other);
 
-  /// Write degree[j] = h(2^j) and the message total into `record`, then
-  /// reset this accumulator for the next superstep. `record.degree` must be
-  /// pre-sized to log_v + 1.
+  /// Write degree[j] = h(2^j) for every j >= 1 and the message total into
+  /// `record`, then reset this accumulator for the next superstep.
+  /// `record.degree` must be pre-sized to log_v + 1 with degree[0] == 0.
   void finalize_into(SuperstepRecord& record);
 
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
 
  private:
+  void touch(std::uint64_t r) {
+    if (!active_[r]) {
+      active_[r] = 1;
+      touched_.push_back(r);
+    }
+  }
+
+  /// Cold path of count(): size the fine lanes on the first real message, so
+  /// lanes that only ever see self-traffic (or none) stay allocation-free —
+  /// the parallel engine constructs one accumulator per worker.
+  void allocate_lanes();
+
   unsigned log_v_ = 0;
   std::uint64_t messages_ = 0;
-  // sent_[j][q] / recv_[j][q]: messages processor q sends/receives at fold
-  // 2^j; touched_[j] lists the nonzero q so reset is O(#touched).
-  std::vector<std::vector<std::uint64_t>> sent_;
-  std::vector<std::vector<std::uint64_t>> recv_;
-  std::vector<std::vector<std::uint64_t>> touched_;
+  // sent_fine_[r * log_v + cb] / recv_fine_[r * log_v + cb]: messages VP r
+  // sent/received with crossing level cb (0 <= cb < log_v). active_ flags and
+  // touched_ list the VPs with nonzero lanes so finalize/reset cost scales
+  // with the active set, not with v. All sized lazily by allocate_lanes().
+  std::vector<std::uint64_t> sent_fine_;
+  std::vector<std::uint64_t> recv_fine_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint64_t> touched_;
+  // Scratch for finalize_into's per-fold cluster reduction, allocated
+  // lazily on the first finalize (absorb-source lanes never need it).
+  std::vector<std::uint64_t> cluster_sent_;
+  std::vector<std::uint64_t> cluster_recv_;
+  std::vector<std::uint8_t> cluster_active_;
+  std::vector<std::uint64_t> cluster_touched_;
 };
 
+/// The recorded superstep sequence plus memoized cumulative tables.
+///
+/// Caching: the per-label sums backing S/F/total_F/partial_F/total_S and
+/// peak_degree are built lazily on first query and invalidated by append()
+/// and extend(), so interleaved record/query phases stay correct and a pure
+/// query phase pays one O(supersteps · log v) build for O(1) lookups
+/// thereafter. The lazy build mutates cache state under const: concurrent
+/// first queries from multiple threads are not synchronized (the engine only
+/// appends single-threaded at the sync and analyses run after the fact).
 class Trace {
  public:
   Trace() = default;
@@ -87,6 +150,12 @@ class Trace {
   }
   [[nodiscard]] const std::vector<SuperstepRecord>& steps() const noexcept {
     return steps_;
+  }
+
+  /// Number of representable superstep labels: valid labels are
+  /// 0 .. label_bound() - 1 (M(1) still has label 0 for local steps).
+  [[nodiscard]] unsigned label_bound() const noexcept {
+    return log_v_ < 1 ? 1 : log_v_;
   }
 
   void append(SuperstepRecord record);
@@ -110,11 +179,18 @@ class Trace {
   /// (supersteps with label >= log p become local computation).
   [[nodiscard]] std::uint64_t total_S(unsigned log_p) const;
 
+  /// max over i-supersteps of h(2^log_p): the largest single-superstep degree
+  /// of label `label` at the given fold (0 if the label never occurs).
+  [[nodiscard]] std::uint64_t peak_degree(unsigned label,
+                                          unsigned log_p) const;
+
   /// Total messages routed (including dummy messages), across all supersteps.
-  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return total_messages_;
+  }
 
   /// Largest superstep label present.
-  [[nodiscard]] unsigned max_label() const;
+  [[nodiscard]] unsigned max_label() const noexcept { return max_label_; }
 
   /// Concatenate another trace after this one (used to compose phases of an
   /// algorithm that is driven in separate machine runs).
@@ -127,8 +203,28 @@ class Trace {
     }
   }
 
+  /// (Re)build the cumulative tables if invalidated. Const because every
+  /// accessor is a pure function of steps_; see the class comment for the
+  /// concurrency caveat.
+  void ensure_cache() const;
+
   unsigned log_v_ = 0;
   std::vector<SuperstepRecord> steps_;
+  std::uint64_t total_messages_ = 0;  ///< maintained eagerly on append/extend
+  unsigned max_label_ = 0;            ///< maintained eagerly on append/extend
+
+  // Memoized tables, all flattened with stride log_v_ + 1 over folds:
+  //   label_F_[i][j]  = Σ over i-supersteps of degree[j]
+  //   label_peak_[i][j] = max over i-supersteps of degree[j]
+  //   label_S_[i]     = S^i
+  //   cum_F_[L][j]    = Σ_{i < L} label_F_[i][j]   (L = 0 .. label_bound())
+  //   cum_S_[L]       = Σ_{i < L} label_S_[i]
+  mutable bool cache_valid_ = false;
+  mutable std::vector<std::uint64_t> label_F_;
+  mutable std::vector<std::uint64_t> label_peak_;
+  mutable std::vector<std::uint64_t> label_S_;
+  mutable std::vector<std::uint64_t> cum_F_;
+  mutable std::vector<std::uint64_t> cum_S_;
 };
 
 }  // namespace nobl

@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,14 @@ std::vector<std::uint64_t> parse_fields(const std::string& line) {
       throw std::invalid_argument("read_trace_csv: non-numeric field '" +
                                   token + "'");
     }
-    fields.push_back(std::stoull(token));
+    try {
+      fields.push_back(std::stoull(token));
+    } catch (const std::out_of_range&) {
+      // An all-digit token exceeding 64 bits; keep the documented contract
+      // of throwing invalid_argument on any malformed input.
+      throw std::invalid_argument("read_trace_csv: field overflows 64 bits '" +
+                                  token + "'");
+    }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
@@ -62,6 +70,11 @@ Trace read_trace_csv(std::istream& is) {
       throw std::invalid_argument("read_trace_csv: wrong field count");
     }
     SuperstepRecord record;
+    // Validate in the 64-bit domain before narrowing: a label >= 2^32 would
+    // otherwise wrap in the cast and could slip past Trace::append's check.
+    if (fields[0] >= trace.label_bound()) {
+      throw std::invalid_argument("read_trace_csv: label out of range");
+    }
     record.label = static_cast<unsigned>(fields[0]);
     record.messages = fields[1];
     record.degree.assign(fields.begin() + 2, fields.end());

@@ -17,8 +17,9 @@ namespace nobl {
 void write_trace_csv(std::ostream& os, const Trace& trace);
 
 /// Parse a trace written by write_trace_csv. Throws std::invalid_argument on
-/// malformed input (wrong field counts, non-numeric fields, label/degree
-/// constraints violated — the same validation Trace::append applies).
+/// malformed input (wrong field counts, non-numeric fields, numeric fields
+/// exceeding 64 bits, label/degree constraints violated — the same
+/// validation Trace::append applies).
 [[nodiscard]] Trace read_trace_csv(std::istream& is);
 
 }  // namespace nobl

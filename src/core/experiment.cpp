@@ -106,15 +106,11 @@ Table superstep_census(const std::string& title, const AlgoRun& run) {
   for (unsigned i = 0; i < std::max(1u, log_v); ++i) {
     const std::uint64_t count = run.trace.S(i);
     if (count == 0) continue;
-    std::uint64_t peak = 0;
-    for (const auto& s : run.trace.steps()) {
-      if (s.label == i) peak = std::max(peak, s.degree[log_v]);
-    }
     table.row()
         .add(i)
         .add(count)
         .add(run.trace.F(i, log_v))
-        .add(peak);
+        .add(run.trace.peak_degree(i, log_v));
   }
   return table;
 }

@@ -24,6 +24,8 @@ OptimalityReport certify_optimality(const Trace& trace, std::uint64_t n,
   report.gamma = fullness_gamma(trace, log_p);
 
   double beta = std::numeric_limits<double>::infinity();
+  // Each H query is an O(1) lookup against the trace's cached tables, so the
+  // whole fold × σ sweep costs O(log p · |σ|) regardless of trace length.
   for (unsigned j = 1; j <= log_p; ++j) {
     const std::uint64_t machine = std::uint64_t{1} << j;
     for (const double sigma : sigmas) {

@@ -50,16 +50,9 @@ bool folding_inequality_holds(const Trace& trace, unsigned log_p) {
   const std::uint64_t p = std::uint64_t{1} << log_p;
   for (unsigned j = 1; j <= log_p; ++j) {
     // Lemma 3.1 bounds the j-fold total by (p/2^j) times the p-fold total,
-    // restricted to supersteps with label < j.
-    std::uint64_t lhs = 0;
-    std::uint64_t rhs = 0;
-    for (const auto& s : trace.steps()) {
-      if (s.label < j) {
-        lhs += s.degree[j];
-        rhs += s.degree[log_p];
-      }
-    }
-    if (lhs > (p >> j) * rhs) return false;
+    // restricted to supersteps with label < j: both sides are cached trace
+    // sums, so the whole sweep is O(log p).
+    if (trace.total_F(j) > (p >> j) * trace.partial_F(j, log_p)) return false;
   }
   return true;
 }

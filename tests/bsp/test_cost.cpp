@@ -87,6 +87,26 @@ TEST(Cost, MonotoneCheck) {
   EXPECT_FALSE(bad_ratio.monotone());
 }
 
+TEST(Cost, ParamsRejectGellShapeMismatch) {
+  // Regression: monotone() and max_ell_over_g() used to index ell[i] in
+  // lockstep with g without verifying the sizes match — an out-of-bounds
+  // read on malformed params that communication_time already rejected.
+  DbspParams shorter;
+  shorter.g = {2.0, 1.0};
+  shorter.ell = {10.0};
+  EXPECT_THROW((void)shorter.monotone(), std::invalid_argument);
+  EXPECT_THROW((void)shorter.max_ell_over_g(), std::invalid_argument);
+  EXPECT_THROW(shorter.validate(), std::invalid_argument);
+  DbspParams longer;
+  longer.g = {2.0};
+  longer.ell = {10.0, 1.0};
+  EXPECT_THROW((void)longer.monotone(), std::invalid_argument);
+  EXPECT_THROW((void)longer.max_ell_over_g(), std::invalid_argument);
+  DbspParams empty;
+  EXPECT_NO_THROW(empty.validate());
+  EXPECT_FALSE(empty.monotone());
+}
+
 TEST(Cost, MaxEllOverG) {
   DbspParams params;
   params.g = {4.0, 2.0};

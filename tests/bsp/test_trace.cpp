@@ -72,6 +72,48 @@ TEST(Trace, PartialFMixedIndices) {
   EXPECT_EQ(t.partial_F(3, 3), t.total_F(3));
 }
 
+TEST(Trace, AllAccessorsRejectFoldBeyondLogV) {
+  Trace t(2);
+  t.append(make_record(2, 0, {0, 1, 2}));
+  EXPECT_THROW((void)t.F(0, 3), std::out_of_range);
+  EXPECT_THROW((void)t.total_F(3), std::out_of_range);
+  EXPECT_THROW((void)t.partial_F(1, 3), std::out_of_range);
+  // Regression: total_S used to skip check_log_p and silently accept folds
+  // larger than the specification model.
+  EXPECT_THROW((void)t.total_S(3), std::out_of_range);
+  EXPECT_THROW((void)t.peak_degree(0, 3), std::out_of_range);
+}
+
+TEST(Trace, CachedTablesInvalidateOnAppendAndExtend) {
+  Trace t(2);
+  t.append(make_record(2, 0, {0, 1, 2}, 3));
+  // Query first so the cumulative tables are built, then mutate.
+  EXPECT_EQ(t.total_F(2), 2u);
+  EXPECT_EQ(t.total_S(2), 1u);
+  t.append(make_record(2, 1, {0, 0, 4}, 1));
+  EXPECT_EQ(t.total_F(2), 6u);
+  EXPECT_EQ(t.total_S(2), 2u);
+  EXPECT_EQ(t.F(1, 2), 4u);
+  Trace other(2);
+  other.append(make_record(2, 0, {0, 2, 2}, 5));
+  t.extend(other);
+  EXPECT_EQ(t.total_F(2), 8u);
+  EXPECT_EQ(t.total_S(2), 3u);
+  EXPECT_EQ(t.partial_F(1, 2), 4u);
+  EXPECT_EQ(t.total_messages(), 9u);
+}
+
+TEST(Trace, PeakDegreeTracksPerLabelMaximum) {
+  Trace t(2);
+  t.append(make_record(2, 0, {0, 1, 2}));
+  t.append(make_record(2, 0, {0, 3, 1}));
+  t.append(make_record(2, 1, {0, 0, 5}));
+  EXPECT_EQ(t.peak_degree(0, 1), 3u);
+  EXPECT_EQ(t.peak_degree(0, 2), 2u);
+  EXPECT_EQ(t.peak_degree(1, 2), 5u);
+  EXPECT_EQ(t.peak_degree(1, 1), 0u);
+}
+
 TEST(Trace, TotalMessagesAndMaxLabel) {
   Trace t(2);
   t.append(make_record(2, 0, {0, 1, 1}, 10));

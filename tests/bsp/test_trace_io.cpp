@@ -78,6 +78,24 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, RejectsFieldsOverflowing64Bits) {
+  // Regression: an all-digit token exceeding 64 bits made std::stoull leak
+  // std::out_of_range through the documented invalid_argument contract.
+  {
+    std::stringstream ss("log_v,2\n0,18446744073709551616,0,1,1\n");  // 2^64
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("log_v,99999999999999999999\n");
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+  {
+    // A label of exactly 2^32 would wrap to 0 if narrowed before validation.
+    std::stringstream ss("log_v,2\n4294967296,1,0,1,1\n");
+    EXPECT_THROW(read_trace_csv(ss), std::invalid_argument);
+  }
+}
+
 TEST(TraceIo, SkipsBlankLines) {
   std::stringstream ss("log_v,1\n\n0,1,0,1\n\n");
   const Trace t = read_trace_csv(ss);
