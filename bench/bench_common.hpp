@@ -1,4 +1,4 @@
-// Shared workload generators and report helpers for the bench binaries.
+// Shared harness glue for the bench binaries.
 //
 // Every bench binary follows the same contract:
 //   * main() first prints the predicted-vs-measured tables reproducing its
@@ -6,21 +6,28 @@
 //     timing involved), then
 //   * hands over to google-benchmark for wall-clock timings of the
 //     simulator itself (so regressions in the engine are visible too).
+//
+// Runners, cost formulas and size sweeps come from the AlgoRegistry
+// (core/registry.hpp); input generators live in core/workloads.hpp and are
+// re-exported here so timing loops can build inputs without extra includes.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <complex>
-#include <cstdint>
 #include <iostream>
-#include <vector>
+#include <string>
 
 #include "bsp/execution.hpp"
 #include "core/experiment.hpp"
-#include "util/matrix.hpp"
-#include "util/rng.hpp"
+#include "core/registry.hpp"
+#include "core/workloads.hpp"
 
 namespace nobl::benchx {
+
+using workloads::random_keys;
+using workloads::random_matrix;
+using workloads::random_rod;
+using workloads::random_signal;
 
 /// The engine every bench simulation runs under, selected once from the
 /// environment (NOBL_ENGINE=seq|par, NOBL_THREADS=N; default sequential).
@@ -29,38 +36,15 @@ inline const ExecutionPolicy& engine() {
   return policy;
 }
 
-inline Matrix<long> random_matrix(std::uint64_t m, std::uint64_t seed) {
-  Matrix<long> a(m, m);
-  Xoshiro256 rng(seed);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      a(i, j) = static_cast<long>(rng.below(128)) - 64;
-    }
-  }
-  return a;
+/// Registry entry lookup (throws on a bad name — bench typos fail fast).
+inline const AlgoEntry& algo(const std::string& name) {
+  return AlgoRegistry::instance().at(name);
 }
 
-inline std::vector<std::uint64_t> random_keys(std::uint64_t n,
-                                              std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  std::vector<std::uint64_t> keys(n);
-  for (auto& k : keys) k = rng.below(std::uint64_t{1} << 48);
-  return keys;
-}
-
-inline std::vector<std::complex<double>> random_signal(std::uint64_t n,
-                                                       std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  std::vector<std::complex<double>> x(n);
-  for (auto& v : x) v = {rng.unit() * 2 - 1, rng.unit() * 2 - 1};
-  return x;
-}
-
-inline std::vector<double> random_rod(std::uint64_t n, std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  std::vector<double> x(n);
-  for (auto& v : x) v = rng.unit();
-  return x;
+/// The registry entry's historical bench sweep, run under the env engine.
+inline std::vector<AlgoRun> bench_runs(const std::string& name) {
+  const AlgoEntry& entry = algo(name);
+  return make_runs(entry.bench_sizes, entry.runner, engine());
 }
 
 /// Print a banner followed by tables; keeps bench mains tidy.

@@ -2,28 +2,18 @@
 #include "algorithms/fft.hpp"
 
 #include "bench_common.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/predictions.hpp"
 #include "util/stats.hpp"
 
 namespace nobl {
 namespace {
 
-std::vector<AlgoRun> build_runs() {
-  return make_runs(
-      {64, 1024, 16384},
-      [](std::uint64_t n, const ExecutionPolicy& policy) {
-        return fft_oblivious(benchx::random_signal(n, n), true, policy).trace;
-      },
-      benchx::engine());
-}
-
 void report() {
+  const AlgoEntry& fft = benchx::algo("fft");
   benchx::banner(
       "E-T45  Theorem 4.5: H_FFT = O((n/p + sigma) log n / log(n/p))");
-  const auto runs = build_runs();
+  const auto runs = benchx::bench_runs("fft");
   std::cout << h_table("n-FFT vs Lemma 4.4 (Scquizzato-Silvestri Thm 11)",
-                       runs, predict::fft, lb::fft);
+                       runs, fft.predicted, fft.lower_bound);
 
   benchx::banner("Growth-shape check: log-log slope of H in p at sigma = 0");
   // H ~ (n/p)·log n/log(n/p): between p = 2 and p = sqrt(n) the slope in p
@@ -42,7 +32,7 @@ void report() {
 
   benchx::banner("E-C46  Corollary 4.6: D-BSP optimality");
   std::cout << dbsp_table("n-FFT on the standard suite (p = 64)", runs, 64,
-                          lb::fft);
+                          fft.lower_bound);
 }
 
 void BM_FftOblivious(benchmark::State& state) {

@@ -1,48 +1,31 @@
 // E-L31 / E-W: the framework-level invariants — Lemma 3.1's folding
 // inequality and the wiseness/fullness measurements — verified on the
 // traces of every Section-4 algorithm.
-#include "algorithms/broadcast.hpp"
-#include "algorithms/fft.hpp"
-#include "algorithms/matmul.hpp"
-#include "algorithms/matmul_space.hpp"
-#include "algorithms/sort.hpp"
-#include "algorithms/stencil1d.hpp"
 #include "bench_common.hpp"
 #include "core/wiseness.hpp"
 
 namespace nobl {
 namespace {
 
-double heat(double l, double c, double r) {
-  return 0.25 * l + 0.5 * c + 0.25 * r;
-}
-
 struct Named {
   std::string name;
   Trace trace;
 };
 
+// Traces come from the registry runners; the display names keep the
+// historical "<algorithm> n=<size>" labels (traces are input-oblivious, so
+// the registry's seeding convention changes nothing in the tables).
 std::vector<Named> all_traces() {
+  const auto run = [](const char* algo, std::uint64_t n) {
+    return benchx::algo(algo).runner(n, benchx::engine());
+  };
   std::vector<Named> out;
-  out.push_back({"matmul n=4096",
-                 matmul_oblivious(benchx::random_matrix(64, 1),
-                                  benchx::random_matrix(64, 2), true,
-                                  benchx::engine())
-                     .trace});
-  out.push_back({"matmul-space n=1024",
-                 matmul_space_oblivious(benchx::random_matrix(32, 3),
-                                        benchx::random_matrix(32, 4), true,
-                                        benchx::engine())
-                     .trace});
-  out.push_back({"fft n=4096",
-                 fft_oblivious(benchx::random_signal(4096, 5), true, benchx::engine()).trace});
-  out.push_back({"sort n=1024",
-                 sort_oblivious(benchx::random_keys(1024, 6), true, benchx::engine()).trace});
-  out.push_back({"stencil1 n=256",
-                 stencil1_oblivious(benchx::random_rod(256, 7), heat, true, 0,
-                                    benchx::engine()).trace});
-  out.push_back({"broadcast-oblivious p=4096",
-                 broadcast_oblivious(4096, 2, 1, benchx::engine()).trace});
+  out.push_back({"matmul n=4096", run("matmul", 4096)});
+  out.push_back({"matmul-space n=1024", run("matmul-space", 1024)});
+  out.push_back({"fft n=4096", run("fft", 4096)});
+  out.push_back({"sort n=1024", run("sort", 1024)});
+  out.push_back({"stencil1 n=256", run("stencil1", 256)});
+  out.push_back({"broadcast-oblivious p=4096", run("broadcast", 4096)});
   return out;
 }
 
@@ -88,8 +71,7 @@ void report() {
 }
 
 void BM_TraceMetrics(benchmark::State& state) {
-  const auto trace =
-      fft_oblivious(benchx::random_signal(4096, 8), true, benchx::engine()).trace;
+  const auto trace = benchx::algo("fft").runner(4096, benchx::engine());
   for (auto _ : state) {
     double acc = 0;
     for (unsigned log_p = 1; log_p <= trace.log_v(); ++log_p) {

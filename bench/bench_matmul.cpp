@@ -8,29 +8,17 @@
 #include "algorithms/matmul.hpp"
 
 #include "bench_common.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/predictions.hpp"
 
 namespace nobl {
 namespace {
 
-std::vector<AlgoRun> build_runs() {
-  std::vector<AlgoRun> runs;
-  for (const std::uint64_t m : {8u, 64u, 128u}) {
-    const auto run = matmul_oblivious(benchx::random_matrix(m, m),
-                                      benchx::random_matrix(m, m + 1), true,
-                                      benchx::engine());
-    runs.push_back(AlgoRun{m * m, run.trace});
-  }
-  return runs;
-}
-
 void report() {
+  const AlgoEntry& matmul = benchx::algo("matmul");
   benchx::banner(
       "E-T42  Theorem 4.2: H_MM(n,p,sigma) = O(n/p^{2/3} + sigma log p)");
-  const auto runs = build_runs();
+  const auto runs = benchx::bench_runs("matmul");
   std::cout << h_table("n-MM: measured vs predicted vs Lemma 4.1", runs,
-                       predict::matmul, lb::matmul);
+                       matmul.predicted, matmul.lower_bound);
 
   benchx::banner("E-W    Definition 3.2/5.2: wiseness and fullness");
   std::cout << wiseness_table("n-MM wiseness across folds", runs);
@@ -38,7 +26,7 @@ void report() {
   benchx::banner(
       "E-C43  Corollary 4.3: D-BSP optimality for ell0/g0 = O(n/p)");
   std::cout << dbsp_table("n-MM on the standard topology suite (p = 64)",
-                          runs, 64, lb::matmul);
+                          runs, 64, matmul.lower_bound);
 
   benchx::banner("Memory blow-up audit (Theta(n^{1/3}) per VP)");
   Table t("peak matrix entries resident at any VP",

@@ -7,30 +7,19 @@
 
 #include "algorithms/matmul.hpp"
 #include "bench_common.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/predictions.hpp"
 
 namespace nobl {
 namespace {
 
-std::vector<AlgoRun> build_runs() {
-  std::vector<AlgoRun> runs;
-  for (const std::uint64_t m : {8u, 32u, 64u}) {
-    const auto run = matmul_space_oblivious(benchx::random_matrix(m, m),
-                                            benchx::random_matrix(m, m + 1),
-                                            true, benchx::engine());
-    runs.push_back(AlgoRun{m * m, run.trace});
-  }
-  return runs;
-}
-
 void report() {
+  const AlgoEntry& matmul_space = benchx::algo("matmul-space");
   benchx::banner(
       "E-MMS  Section 4.1.1: H_MM-space(n,p,sigma) = O(n/sqrt(p) + "
       "sigma sqrt(p))");
-  const auto runs = build_runs();
+  const auto runs = benchx::bench_runs("matmul-space");
   std::cout << h_table("space-efficient n-MM vs Irony-Toledo-Tiskin bound",
-                       runs, predict::matmul_space, lb::matmul_space);
+                       runs, matmul_space.predicted,
+                       matmul_space.lower_bound);
 
   benchx::banner("Communication/space trade-off (same n, both algorithms)");
   Table t("H at sigma = 0, fold p, n = 4096",

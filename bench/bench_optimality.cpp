@@ -8,12 +8,8 @@
 #include "core/optimality.hpp"
 
 #include "algorithms/baselines.hpp"
-#include "algorithms/fft.hpp"
-#include "algorithms/matmul.hpp"
-#include "algorithms/sort.hpp"
 #include "bench_common.hpp"
 #include "bsp/topology.hpp"
-#include "core/lower_bounds.hpp"
 
 namespace nobl {
 namespace {
@@ -26,29 +22,18 @@ struct Subject {
   Trace (*baseline)(std::uint64_t, std::uint64_t);
 };
 
+Subject subject(const char* algo, std::uint64_t n,
+                Trace (*baseline)(std::uint64_t, std::uint64_t)) {
+  const AlgoEntry& entry = benchx::algo(algo);
+  return {entry.name + " n=" + std::to_string(n), n,
+          entry.runner(n, benchx::engine()), entry.lower_bound, baseline};
+}
+
 std::vector<Subject> subjects() {
   std::vector<Subject> out;
-  out.push_back({"matmul n=4096", 4096,
-                 matmul_oblivious(benchx::random_matrix(64, 1),
-                                  benchx::random_matrix(64, 2), true,
-                                  benchx::engine())
-                     .trace,
-                 [](std::uint64_t n, std::uint64_t p, double s) {
-                   return lb::matmul(n, p, s);
-                 },
-                 &baseline::matmul});
-  out.push_back({"fft n=4096", 4096,
-                 fft_oblivious(benchx::random_signal(4096, 3), true, benchx::engine()).trace,
-                 [](std::uint64_t n, std::uint64_t p, double s) {
-                   return lb::fft(n, p, s);
-                 },
-                 &baseline::fft});
-  out.push_back({"sort n=1024", 1024,
-                 sort_oblivious(benchx::random_keys(1024, 4), true, benchx::engine()).trace,
-                 [](std::uint64_t n, std::uint64_t p, double s) {
-                   return lb::sort(n, p, s);
-                 },
-                 &baseline::sort});
+  out.push_back(subject("matmul", 4096, &baseline::matmul));
+  out.push_back(subject("fft", 4096, &baseline::fft));
+  out.push_back(subject("sort", 1024, &baseline::sort));
   return out;
 }
 
@@ -100,10 +85,8 @@ void report() {
 }
 
 void BM_Certify(benchmark::State& state) {
-  const auto trace = fft_oblivious(benchx::random_signal(1024, 5), true, benchx::engine()).trace;
-  const auto lower = [](std::uint64_t n, std::uint64_t p, double s) {
-    return lb::fft(n, p, s);
-  };
+  const auto trace = benchx::algo("fft").runner(1024, benchx::engine());
+  const LowerBoundFn lower = benchx::algo("fft").lower_bound;
   const auto sigmas = sigma_grid(1024, 64);
   for (auto _ : state) {
     auto rep = certify_optimality(trace, 1024, 6, lower, sigmas);

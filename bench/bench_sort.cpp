@@ -4,26 +4,19 @@
 
 #include "algorithms/bitonic.hpp"
 #include "bench_common.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/predictions.hpp"
 
 namespace nobl {
 namespace {
 
-std::vector<AlgoRun> build_runs() {
-  std::vector<AlgoRun> runs;
-  for (const std::uint64_t n : {64u, 1024u, 4096u}) {
-    runs.push_back(AlgoRun{n, sort_oblivious(benchx::random_keys(n, n), true, benchx::engine()).trace});
-  }
-  return runs;
-}
-
 void report() {
+  const AlgoEntry& sort = benchx::algo("sort");
+  const AlgoEntry& bitonic = benchx::algo("bitonic");
   benchx::banner(
       "E-T48  Theorem 4.8: H_sort = O((n/p + sigma)(log n / "
       "log(n/p))^{log_{3/2} 4})");
-  const auto runs = build_runs();
-  std::cout << h_table("n-sort vs Lemma 4.7", runs, predict::sort, lb::sort);
+  const auto runs = benchx::bench_runs("sort");
+  std::cout << h_table("n-sort vs Lemma 4.7", runs, sort.predicted,
+                       sort.lower_bound);
 
   benchx::banner(
       "Sublinear-parallelism regime (Corollary 4.9: optimal for p = "
@@ -35,7 +28,7 @@ void report() {
       const unsigned log_p = log2_exact(p);
       const double ratio =
           communication_complexity(run.trace, log_p, 0) /
-          lb::sort(run.n, p, 0);
+          sort.lower_bound(run.n, p, 0);
       const bool sublinear =
           static_cast<double>(p) <=
           std::pow(static_cast<double>(run.n), 0.75);
@@ -56,7 +49,7 @@ void report() {
 
   benchx::banner("E-C49  Corollary 4.9: D-BSP communication time");
   std::cout << dbsp_table("n-sort on the standard suite (p = 64)", runs, 64,
-                          lb::sort);
+                          sort.lower_bound);
 
   benchx::banner(
       "Ablation: Columnsort vs the bitonic network (constants vs "
@@ -78,8 +71,8 @@ void report() {
           .add(hc)
           .add(hb)
           .add(hc / hb)
-          .add(predict::sort(1ULL << 40, p, 0) /
-               bitonic_predicted(1ULL << 40, p, 0));
+          .add(sort.predicted(1ULL << 40, p, 0) /
+               bitonic.predicted(1ULL << 40, p, 0));
     }
   }
   std::cout << ab

@@ -9,7 +9,6 @@
 
 #include "bench_common.hpp"
 #include "bsp/topology.hpp"
-#include "core/lower_bounds.hpp"
 #include "core/predictions.hpp"
 
 namespace nobl {
@@ -20,13 +19,13 @@ double heat(double l, double c, double r) {
 }
 
 void report() {
+  const AlgoEntry& stencil1 = benchx::algo("stencil1");
   benchx::banner(
       "E-F1   Figure 1: recursive diamond decomposition census "
       "(stripes/phases per level)");
   for (const std::uint64_t n : {64u, 256u, 1024u}) {
     const DiamondSchedule sched(n);
-    const auto run = stencil1_oblivious(benchx::random_rod(n, n), heat, true, 0,
-                                        benchx::engine());
+    const AlgoRun run{n, stencil1.runner(n, benchx::engine())};
     Table t("n = " + std::to_string(n) + ", k = " + std::to_string(sched.k()) +
                 ", radices per level as below",
             {"level i", "radix k_i", "label (i-1)logk", "supersteps S^label",
@@ -47,20 +46,9 @@ void report() {
 
   benchx::banner(
       "E-T411 Theorem 4.11: H = O(n 4^{sqrt(log n)}) for sigma = O(n/p)");
-  std::vector<AlgoRun> runs;
-  for (const std::uint64_t n : {64u, 256u, 1024u}) {
-    runs.push_back(
-        AlgoRun{n, stencil1_oblivious(benchx::random_rod(n, n), heat, true, 0,
-                                        benchx::engine()).trace});
-  }
-  std::cout << h_table(
-      "(n,1)-stencil vs the closed form and Lemma 4.10", runs,
-      [](std::uint64_t n, std::uint64_t p, double sigma) {
-        return predict::stencil1(n, p, sigma);
-      },
-      [](std::uint64_t n, std::uint64_t p, double sigma) {
-        return lb::stencil(n, 1, p, sigma);
-      });
+  const auto runs = benchx::bench_runs("stencil1");
+  std::cout << h_table("(n,1)-stencil vs the closed form and Lemma 4.10",
+                       runs, stencil1.predicted, stencil1.lower_bound);
 
   Table gap("measured optimality factor vs the theorem's 1/4^{sqrt(log n)}",
             {"n", "H(p=v, sigma=0)", "LB", "LB/H (beta)",
@@ -68,7 +56,7 @@ void report() {
   for (const auto& run : runs) {
     const double h =
         communication_complexity(run.trace, run.trace.log_v(), 0);
-    const double lower = lb::stencil(run.n, 1, run.trace.v(), 0);
+    const double lower = stencil1.lower_bound(run.n, run.trace.v(), 0);
     gap.row()
         .add(run.n)
         .add(h)
@@ -80,10 +68,7 @@ void report() {
 
   benchx::banner("E-C412 D-BSP communication time + row-wise ablation");
   std::cout << dbsp_table("(n,1)-stencil on the standard suite (p = 16)",
-                          runs, 16,
-                          [](std::uint64_t n, std::uint64_t p, double sigma) {
-                            return lb::stencil(n, 1, p, sigma);
-                          });
+                          runs, 16, stencil1.lower_bound);
   Table ab("ablation: diamond vs row-wise schedule, D on uniform(p=4, "
            "ell = 1000)",
            {"n", "D diamond", "D row-wise", "row/diamond"});

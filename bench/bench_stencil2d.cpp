@@ -2,7 +2,6 @@
 #include "algorithms/stencil2d.hpp"
 
 #include "bench_common.hpp"
-#include "core/lower_bounds.hpp"
 #include "core/predictions.hpp"
 #include "core/wiseness.hpp"
 
@@ -10,6 +9,7 @@ namespace nobl {
 namespace {
 
 void report() {
+  const AlgoEntry& stencil2 = benchx::algo("stencil2");
   benchx::banner(
       "E-T413 Theorem 4.13: H_2-stencil = O((n^2/sqrt(p)) 8^{sqrt(log n)})");
   Table t("17-stage octahedron/tetrahedron schedule (cost-faithful; "
@@ -17,16 +17,16 @@ void report() {
           {"n", "v = n^2", "p", "sigma", "H measured", "H predicted",
            "meas/pred", "LB (Lemma 4.10)", "meas/LB"});
   for (const std::uint64_t n : {16u, 64u, 128u}) {
-    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
+    const Trace trace = stencil2.runner(n, benchx::engine());
     const std::uint64_t v = n * n;
     for (const std::uint64_t p : {4u, 64u, static_cast<unsigned>(v)}) {
       const unsigned log_p = log2_exact(p);
       for (const double sigma :
            {0.0, static_cast<double>(v / p)}) {
         const double measured =
-            communication_complexity(run.trace, log_p, sigma);
-        const double predicted = predict::stencil2(n, p, sigma);
-        const double lower = lb::stencil(n, 2, p, sigma);
+            communication_complexity(trace, log_p, sigma);
+        const double predicted = stencil2.predicted(n, p, sigma);
+        const double lower = stencil2.lower_bound(n, p, sigma);
         t.row()
             .add(n)
             .add(v)
@@ -45,10 +45,10 @@ void report() {
   benchx::banner("Schedule census: per-level phases (4k-3 stripes)");
   Table c("per-level superstep counts", {"n", "k", "level labels S^label"});
   for (const std::uint64_t n : {16u, 64u}) {
-    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
+    const Trace trace = stencil2.runner(n, benchx::engine());
     std::string labels;
-    for (unsigned i = 0; i <= run.trace.max_label(); ++i) {
-      const auto count = run.trace.S(i);
+    for (unsigned i = 0; i <= trace.max_label(); ++i) {
+      const auto count = trace.S(i);
       if (count) {
         labels += "S^" + std::to_string(i) + "=" +
                   std::to_string(count) + "  ";
@@ -61,12 +61,12 @@ void report() {
   benchx::banner("E-W    wiseness of the schedule");
   Table w("alpha at selected folds", {"n", "p=4", "p=64", "p=v"});
   for (const std::uint64_t n : {16u, 64u}) {
-    const auto run = stencil2_oblivious_schedule(n, true, 0, benchx::engine());
+    const Trace trace = stencil2.runner(n, benchx::engine());
     w.row()
         .add(n)
-        .add(wiseness_alpha(run.trace, 2))
-        .add(wiseness_alpha(run.trace, 6))
-        .add(wiseness_alpha(run.trace, run.trace.log_v()));
+        .add(wiseness_alpha(trace, 2))
+        .add(wiseness_alpha(trace, 6))
+        .add(wiseness_alpha(trace, trace.log_v()));
   }
   std::cout << w;
 }

@@ -1,0 +1,143 @@
+// Campaigns: programmable experiment sweeps over the algorithm registry.
+//
+// A campaign names a set of algorithms (each with a size sweep), an engine
+// matrix, a fold range and a σ grid. `run_campaign` executes every
+// (algorithm, n, engine) cell once on the specification model and evaluates
+// the full metric surface from the recorded trace:
+//
+//   * H measured vs predicted vs lower bound at every fold × σ,
+//   * wiseness α / fullness γ at every fold (Defs. 3.2 / 5.2),
+//   * the Theorem 3.4 certification (α, γ, β_min, guarantee) at the top
+//     fold.
+//
+// Results render as text tables or as schema-versioned JSON that
+// `nobl check` (and CI) can validate and threshold. Specs are either
+// builtin (`builtin_campaign`) or parsed from a small line-oriented file
+// format (`parse_campaign_spec`); parse errors carry line/column positions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bsp/execution.hpp"
+#include "bsp/trace.hpp"
+#include "core/optimality.hpp"
+#include "core/registry.hpp"
+#include "util/json.hpp"
+
+namespace nobl {
+
+/// Version stamped into every result document; `nobl check` rejects
+/// documents with a different major version.
+inline constexpr int kResultSchemaVersion = 1;
+
+/// One algorithm plus the input sizes to sweep.
+struct AlgoSweep {
+  std::string algorithm;
+  std::vector<std::uint64_t> sizes;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::vector<AlgoSweep> sweeps;
+  std::vector<ExecutionPolicy> engines = {ExecutionPolicy::sequential()};
+  /// Cap on the fold sweep (folds run 2..min(max_fold, v)); 0 = up to v.
+  std::uint64_t max_fold = 0;
+  /// Explicit σ grid; empty = the standard grid {0, 1, √(n/p), n/p}.
+  std::vector<double> sigmas;
+};
+
+/// Parse the line-oriented campaign format:
+///
+///   # comment
+///   name = nightly
+///   algorithms = matmul:64:4096, fft, sort:256     (bare name = smoke sizes)
+///   engines = seq, par:2                           (default: seq)
+///   sigmas = 0, 1, 4.5                             (default: auto grid)
+///   max_fold = 64                                  (default: all folds)
+///
+/// Throws std::invalid_argument with "line L, column C" position info on
+/// unknown keys, unknown algorithms, empty sweeps, or malformed numbers.
+[[nodiscard]] CampaignSpec parse_campaign_spec(std::string_view text);
+
+/// Builtin campaigns: "ci-smoke" (4 algorithms × {seq, par:2}, small sizes),
+/// "golden" (tiny sweep pinned by tests/golden/), "bench" (the full
+/// bench-binary sweeps, sequential). Throws std::invalid_argument listing
+/// the known names on a miss.
+[[nodiscard]] CampaignSpec builtin_campaign(const std::string& name);
+[[nodiscard]] std::vector<std::string> builtin_campaign_names();
+
+/// One (fold, σ) evaluation cell.
+struct CellResult {
+  std::uint64_t p = 0;
+  double sigma = 0.0;
+  double h = 0.0;
+  double predicted = 0.0;
+  double lower_bound = 0.0;
+  double ratio_predicted = 0.0;  ///< h / predicted (0 when predicted == 0)
+  double ratio_lb = 0.0;         ///< h / lower_bound (0 when lb == 0)
+};
+
+/// Per-fold wiseness/fullness measurements.
+struct FoldResult {
+  std::uint64_t p = 0;
+  double alpha = 0.0;
+  double gamma = 0.0;
+};
+
+/// Everything measured for one (algorithm, n, engine) run.
+struct RunResult {
+  std::string algorithm;
+  std::string engine;  ///< to_string(policy): "seq" or "par:N"
+  std::uint64_t n = 0;
+  unsigned log_v = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t messages = 0;
+  std::vector<CellResult> cells;
+  std::vector<FoldResult> folds;
+  OptimalityReport certification;  ///< at the top swept fold
+  Trace trace;                     ///< kept for `nobl trace --export`
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<RunResult> runs;
+};
+
+/// Execute the campaign. Progress lines ("algorithm n engine") go to
+/// `progress` when non-null (the CLI passes stderr so --json stays clean).
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          std::ostream* progress = nullptr);
+
+/// Serialize as the schema-versioned result document (see kResultSchemaVersion
+/// and docs in bench/README.md).
+void write_campaign_json(std::ostream& os, const CampaignResult& result);
+
+/// Human-readable rendering: one H table + one wiseness table per
+/// (algorithm, engine), mirroring the bench binaries.
+void print_campaign_text(std::ostream& os, const CampaignResult& result);
+
+/// Structural validation of a result document: schema version, required
+/// keys, cell shape, and cross-engine conformance (runs of the same
+/// algorithm and n must report identical H cells under every engine — the
+/// bit-identical-engines guarantee, checked end to end). Returns
+/// human-readable violations; empty = valid.
+[[nodiscard]] std::vector<std::string> validate_campaign_json(
+    const JsonValue& doc);
+
+/// Threshold gate for CI. The thresholds document looks like:
+///
+///   {"schema_version": 1,
+///    "algorithms": {"matmul": {"max_ratio_lb": 4.0, "min_alpha": 0.5,
+///                              "min_guarantee": 0.1}, ...}}
+///
+/// For each listed algorithm, every run's worst H/LB cell must stay at or
+/// under max_ratio_lb, and the certification α / guarantee must stay at or
+/// above the minima. Returns violations; empty = pass.
+[[nodiscard]] std::vector<std::string> check_thresholds(
+    const JsonValue& results, const JsonValue& thresholds);
+
+}  // namespace nobl

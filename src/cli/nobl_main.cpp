@@ -1,0 +1,562 @@
+// nobl — the campaign-runner CLI.
+//
+//   nobl run      execute a campaign, render text tables and/or JSON
+//   nobl certify  optimality/wiseness verdicts (Defs. 3.2/5.2, Thm 3.4)
+//   nobl trace    export / inspect / replay recorded traces (trace_io CSV)
+//   nobl list     enumerate registered algorithms and builtin campaigns
+//   nobl check    validate a result JSON, optionally gate on thresholds
+//
+// Every subcommand accepts --help. Exit codes: 0 success, 1 failed
+// check/threshold/conformance, 2 usage error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bsp/cost.hpp"
+#include "bsp/trace_io.hpp"
+#include "cli/campaign.hpp"
+#include "core/experiment.hpp"
+#include "core/wiseness.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+namespace nobl {
+namespace {
+
+int usage_error(const std::string& message, const std::string& help_hint) {
+  std::cerr << "nobl: " << message << "\n(try `nobl " << help_hint
+            << " --help`)\n";
+  return 2;
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot open \"" + path + "\"");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Common flag set shared by run/certify/trace: campaign selection.
+struct CampaignArgs {
+  std::string campaign;  ///< builtin name
+  std::string spec;      ///< path to a spec file
+};
+
+[[nodiscard]] CampaignSpec resolve_campaign(const CampaignArgs& args) {
+  if (!args.spec.empty()) return parse_campaign_spec(read_file(args.spec));
+  if (!args.campaign.empty()) return builtin_campaign(args.campaign);
+  throw std::invalid_argument("no campaign selected: pass --campaign NAME or "
+                              "--spec FILE");
+}
+
+void print_run_help() {
+  std::cout <<
+      R"(nobl run — execute a campaign and emit its results.
+
+Usage:
+  nobl run --campaign NAME [options]     run a builtin campaign
+  nobl run --spec FILE [options]         run a campaign spec file
+
+Options:
+  --json FILE     write the schema-versioned result JSON to FILE ("-" = stdout)
+  --text          print human-readable tables (default unless --json is given)
+  --thresholds F  after the run, gate the results on the thresholds file F
+                  (exit 1 on any violation) — the one-shot form of the CI
+                  `nobl run` + `nobl check` pair
+  --quiet         suppress per-run progress lines on stderr
+  --help          this text
+
+Builtin campaigns: ci-smoke, golden, bench (see `nobl list`).
+
+Examples:
+  nobl run --campaign ci-smoke --json out.json
+  nobl run --campaign ci-smoke --json out.json --thresholds bench/thresholds/ci-smoke.json
+  nobl run --spec nightly.campaign --text
+)";
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  CampaignArgs campaign_args;
+  std::string json_path;
+  std::string thresholds_path;
+  bool text = false;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help") {
+      print_run_help();
+      return 0;
+    } else if (arg == "--campaign") {
+      campaign_args.campaign = next();
+    } else if (arg == "--spec") {
+      campaign_args.spec = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--thresholds") {
+      thresholds_path = next();
+    } else if (arg == "--text") {
+      text = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage_error("unknown option \"" + arg + "\"", "run");
+    }
+  }
+
+  const CampaignSpec spec = resolve_campaign(campaign_args);
+  const CampaignResult result =
+      run_campaign(spec, quiet ? nullptr : &std::cerr);
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      write_campaign_json(std::cout, result);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        throw std::invalid_argument("cannot write \"" + json_path + "\"");
+      }
+      write_campaign_json(out, result);
+    }
+  }
+  if (text || json_path.empty()) print_campaign_text(std::cout, result);
+
+  if (!thresholds_path.empty()) {
+    std::ostringstream rendered;
+    write_campaign_json(rendered, result);
+    const JsonValue results = JsonValue::parse(rendered.str());
+    const JsonValue thresholds = JsonValue::parse(read_file(thresholds_path));
+    const std::vector<std::string> violations =
+        check_thresholds(results, thresholds);
+    for (const auto& v : violations) std::cerr << "THRESHOLD: " << v << "\n";
+    if (!violations.empty()) return 1;
+    std::cerr << "nobl: thresholds OK (" << thresholds_path << ")\n";
+  }
+  return 0;
+}
+
+void print_certify_help() {
+  std::cout <<
+      R"(nobl certify — wiseness/optimality verdicts for a campaign.
+
+For every (algorithm, n, engine) run: measured wiseness alpha (Def. 3.2),
+fullness gamma (Def. 5.2), beta = min LB/H over folds and the sigma grid,
+the Theorem 3.4 D-BSP guarantee alpha*beta/(1+alpha), and whether Lemma 3.1's
+folding inequality holds at every fold.
+
+Usage:
+  nobl certify --campaign NAME [--json FILE]
+  nobl certify --spec FILE [--json FILE]
+
+Options:
+  --json FILE   also write the full result document ("-" = stdout)
+  --quiet       suppress progress lines on stderr
+  --help        this text
+)";
+}
+
+int cmd_certify(const std::vector<std::string>& args) {
+  CampaignArgs campaign_args;
+  std::string json_path;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help") {
+      print_certify_help();
+      return 0;
+    } else if (arg == "--campaign") {
+      campaign_args.campaign = next();
+    } else if (arg == "--spec") {
+      campaign_args.spec = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage_error("unknown option \"" + arg + "\"", "certify");
+    }
+  }
+
+  const CampaignSpec spec = resolve_campaign(campaign_args);
+  const CampaignResult result =
+      run_campaign(spec, quiet ? nullptr : &std::cerr);
+
+  Table verdicts("certification per run (Thm 3.4 at the top swept fold)",
+                 {"algorithm", "n", "engine", "alpha", "gamma", "beta_min",
+                  "guarantee", "folding (L3.1)"});
+  for (const RunResult& run : result.runs) {
+    bool folding = true;
+    for (unsigned log_p = 1; log_p <= run.log_v; ++log_p) {
+      folding = folding && folding_inequality_holds(run.trace, log_p);
+    }
+    verdicts.row()
+        .add(run.algorithm)
+        .add(run.n)
+        .add(run.engine)
+        .add(run.certification.alpha)
+        .add(run.certification.gamma)
+        .add(run.certification.beta_min)
+        .add(run.certification.guarantee())
+        .add(folding ? "holds" : "VIOLATED");
+  }
+  std::cout << verdicts;
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      write_campaign_json(std::cout, result);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        throw std::invalid_argument("cannot write \"" + json_path + "\"");
+      }
+      write_campaign_json(out, result);
+    }
+  }
+  return 0;
+}
+
+void print_trace_help() {
+  std::cout <<
+      R"(nobl trace — export, inspect, or replay recorded traces.
+
+Traces are the trace_io CSV format (bsp/trace_io.hpp): header `log_v,<k>`,
+then one `label,messages,degree_0..degree_logv` line per superstep.
+
+Usage:
+  nobl trace --export DIR (--campaign NAME | --spec FILE)
+        run the campaign (first engine) and write one CSV per unique
+        (algorithm, n) into DIR, named <algorithm>_n<N>.csv — traces are
+        engine-invariant, so one file pins every engine
+  nobl trace --inspect FILE
+        print the trace's shape and its per-label superstep census
+  nobl trace --replay FILE [--algorithm NAME --n N]
+        recompute H/alpha/gamma per fold from the stored degrees; with an
+        algorithm named, also re-certify against its closed forms
+
+Options:
+  --quiet   suppress progress lines on stderr
+  --help    this text
+)";
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  CampaignArgs campaign_args;
+  std::string export_dir;
+  std::string inspect_path;
+  std::string replay_path;
+  std::string algorithm;
+  std::uint64_t n = 0;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help") {
+      print_trace_help();
+      return 0;
+    } else if (arg == "--export") {
+      export_dir = next();
+    } else if (arg == "--inspect") {
+      inspect_path = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--campaign") {
+      campaign_args.campaign = next();
+    } else if (arg == "--spec") {
+      campaign_args.spec = next();
+    } else if (arg == "--algorithm") {
+      algorithm = next();
+    } else if (arg == "--n") {
+      n = std::stoull(next());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage_error("unknown option \"" + arg + "\"", "trace");
+    }
+  }
+
+  if (!export_dir.empty()) {
+    CampaignSpec spec = resolve_campaign(campaign_args);
+    spec.engines = {spec.engines.front()};  // traces are engine-invariant
+    const CampaignResult result =
+        run_campaign(spec, quiet ? nullptr : &std::cerr);
+    std::filesystem::create_directories(export_dir);
+    for (const RunResult& run : result.runs) {
+      const std::filesystem::path path =
+          std::filesystem::path(export_dir) /
+          (run.algorithm + "_n" + std::to_string(run.n) + ".csv");
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        throw std::invalid_argument("cannot write \"" + path.string() + "\"");
+      }
+      write_trace_csv(out, run.trace);
+      if (!quiet) std::cerr << "nobl: wrote " << path.string() << "\n";
+    }
+    return 0;
+  }
+
+  if (!inspect_path.empty()) {
+    std::istringstream in(read_file(inspect_path));
+    const Trace trace = read_trace_csv(in);
+    std::cout << "trace: " << inspect_path << "\n  log_v = " << trace.log_v()
+              << " (v = " << trace.v() << ")\n  supersteps = "
+              << trace.supersteps() << "\n  messages = "
+              << trace.total_messages() << "\n";
+    const AlgoRun run{0, trace};
+    std::cout << superstep_census("superstep census by label", run);
+    return 0;
+  }
+
+  if (!replay_path.empty()) {
+    std::istringstream in(read_file(replay_path));
+    const Trace trace = read_trace_csv(in);
+    Table t("replayed metrics per fold",
+            {"p", "H (sigma=0)", "alpha", "gamma"});
+    for (const std::uint64_t p : pow2_range(trace.v())) {
+      const unsigned log_p = log2_exact(p);
+      t.row()
+          .add(p)
+          .add(communication_complexity(trace, log_p, 0))
+          .add(wiseness_alpha(trace, log_p))
+          .add(fullness_gamma(trace, log_p));
+    }
+    std::cout << t;
+    if (!algorithm.empty()) {
+      if (n == 0) {
+        return usage_error("--replay with --algorithm also needs --n", "trace");
+      }
+      const AlgoEntry& entry = AlgoRegistry::instance().at(algorithm);
+      Table vs("replayed H vs " + entry.name + " closed forms (sigma=0)",
+               {"p", "H", "predicted", "meas/pred", "lower bound", "meas/LB"});
+      for (const std::uint64_t p : pow2_range(trace.v())) {
+        const unsigned log_p = log2_exact(p);
+        const double h = communication_complexity(trace, log_p, 0);
+        const double pred = entry.predicted(n, p, 0);
+        const double lower = entry.lower_bound(n, p, 0);
+        vs.row()
+            .add(p)
+            .add(h)
+            .add(pred)
+            .add(pred > 0 ? h / pred : 0.0)
+            .add(lower)
+            .add(lower > 0 ? h / lower : 0.0);
+      }
+      std::cout << vs;
+    }
+    return 0;
+  }
+
+  return usage_error("pass one of --export, --inspect, --replay", "trace");
+}
+
+void print_list_help() {
+  std::cout <<
+      R"(nobl list — enumerate registered algorithms and builtin campaigns.
+
+Usage:
+  nobl list [--json]
+
+Options:
+  --json    machine-readable listing on stdout
+  --help    this text
+)";
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--help") {
+      print_list_help();
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return usage_error("unknown option \"" + arg + "\"", "list");
+    }
+  }
+
+  const auto& entries = AlgoRegistry::instance().entries();
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("schema_version").value(kResultSchemaVersion);
+    w.key("algorithms").begin_array();
+    for (const AlgoEntry& entry : entries) {
+      w.begin_object();
+      w.key("name").value(entry.name);
+      w.key("summary").value(entry.summary);
+      w.key("source").value(entry.source);
+      w.key("size_rule").value(entry.size_rule);
+      w.key("bench_sizes").begin_array();
+      for (const auto size : entry.bench_sizes) w.value(size);
+      w.end_array();
+      w.key("smoke_sizes").begin_array();
+      for (const auto size : entry.smoke_sizes) w.value(size);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("campaigns").begin_array();
+    for (const auto& name : builtin_campaign_names()) w.value(name);
+    w.end_array();
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+
+  Table t("registered network-oblivious algorithms",
+          {"name", "source", "sizes (smoke)", "summary"});
+  for (const AlgoEntry& entry : entries) {
+    std::string sizes;
+    for (const auto size : entry.smoke_sizes) {
+      if (!sizes.empty()) sizes += ",";
+      sizes += std::to_string(size);
+    }
+    t.row().add(entry.name).add(entry.source).add(sizes).add(entry.summary);
+  }
+  std::cout << t;
+  std::cout << "builtin campaigns:";
+  for (const auto& name : builtin_campaign_names()) std::cout << " " << name;
+  std::cout << "\n";
+  return 0;
+}
+
+void print_check_help() {
+  std::cout <<
+      R"(nobl check — validate a result document, optionally gate on thresholds.
+
+Validation covers the schema (version, required keys, cell shape) and the
+cross-engine conformance rule: runs of the same (algorithm, n) must report
+identical H cells under every engine. With --thresholds, optimality ratios
+and certification minima are enforced on top (the CI regression gate).
+
+Usage:
+  nobl check --results FILE [--thresholds FILE]
+
+Options:
+  --results FILE      result JSON produced by `nobl run --json`
+  --thresholds FILE   thresholds document (see bench/thresholds/)
+  --help              this text
+
+Exit code 0 = valid (and within thresholds), 1 = violations (one per line
+on stderr).
+)";
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  std::string results_path;
+  std::string thresholds_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help") {
+      print_check_help();
+      return 0;
+    } else if (arg == "--results") {
+      results_path = next();
+    } else if (arg == "--thresholds") {
+      thresholds_path = next();
+    } else {
+      return usage_error("unknown option \"" + arg + "\"", "check");
+    }
+  }
+  if (results_path.empty()) {
+    return usage_error("--results FILE is required", "check");
+  }
+
+  const JsonValue results = JsonValue::parse(read_file(results_path));
+  std::vector<std::string> violations;
+  if (thresholds_path.empty()) {
+    violations = validate_campaign_json(results);
+  } else {
+    const JsonValue thresholds = JsonValue::parse(read_file(thresholds_path));
+    violations = check_thresholds(results, thresholds);
+  }
+  for (const auto& v : violations) std::cerr << "CHECK: " << v << "\n";
+  if (!violations.empty()) return 1;
+  std::cout << "nobl check: OK (" << results_path
+            << (thresholds_path.empty() ? "" : ", thresholds applied") << ")\n";
+  return 0;
+}
+
+void print_main_help() {
+  std::cout <<
+      R"(nobl — campaign runner for the network-oblivious algorithm suite.
+
+Usage: nobl <subcommand> [options]
+
+Subcommands:
+  run      execute a campaign (algorithms x sizes x engines), emit text/JSON
+  certify  optimality/wiseness verdicts per Defs. 3.2/5.2 and Theorem 3.4
+  trace    export / inspect / replay recorded traces (trace_io CSV)
+  list     enumerate registered algorithms and builtin campaigns
+  check    validate result JSON, optionally gate on a thresholds file
+
+`nobl <subcommand> --help` documents each one.
+
+The simulation engine matrix is part of the campaign spec (`engines =`);
+the NOBL_ENGINE/NOBL_THREADS environment variables are NOT consulted here.
+)";
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) {
+    print_main_help();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "--help" || command == "help") {
+    print_main_help();
+    return 0;
+  }
+  if (command == "run") return cmd_run(args);
+  if (command == "certify") return cmd_certify(args);
+  if (command == "trace") return cmd_trace(args);
+  if (command == "list") return cmd_list(args);
+  if (command == "check") return cmd_check(args);
+  return usage_error("unknown subcommand \"" + command + "\"", "--help");
+}
+
+}  // namespace
+}  // namespace nobl
+
+int main(int argc, char** argv) {
+  try {
+    return nobl::dispatch(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Bad invocations (unknown campaign, malformed spec, missing value,
+    // unreadable file) exit 2 so CI can tell them apart from a real failed
+    // check, which exits 1.
+    std::cerr << "nobl: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "nobl: " << e.what() << "\n";
+    return 1;
+  }
+}

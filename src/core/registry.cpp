@@ -1,0 +1,205 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+#include "algorithms/bitonic.hpp"
+#include "algorithms/broadcast.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/matmul_space.hpp"
+#include "algorithms/sort.hpp"
+#include "algorithms/stencil1d.hpp"
+#include "algorithms/stencil2d.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/predictions.hpp"
+#include "core/workloads.hpp"
+#include "util/bits.hpp"
+
+namespace nobl {
+namespace {
+
+bool pow2_size(std::uint64_t n) { return is_pow2(n); }
+
+bool pow2_size_ge2(std::uint64_t n) { return is_pow2(n) && n >= 2; }
+
+/// n must be m² for a power-of-two side m (matrix element count).
+bool square_pow2_size(std::uint64_t n) {
+  return is_pow2(n) && log2_exact(n) % 2 == 0;
+}
+
+}  // namespace
+
+const AlgoRegistry& AlgoRegistry::instance() {
+  static const AlgoRegistry registry;
+  return registry;
+}
+
+const AlgoEntry* AlgoRegistry::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const AlgoEntry& AlgoRegistry::at(const std::string& name) const {
+  const AlgoEntry* e = find(name);
+  if (e != nullptr) return *e;
+  std::string known;
+  for (const auto& entry : entries_) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw std::invalid_argument("unknown algorithm \"" + name +
+                              "\" (known: " + known + ")");
+}
+
+void AlgoRegistry::add(AlgoEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+AlgoRegistry::AlgoRegistry() {
+  using namespace workloads;
+
+  add({.name = "matmul",
+       .summary = "semiring matrix multiplication, Theta(n^{1/3}) memory",
+       .source = "Thm 4.2",
+       .size_rule = "n = m^2 elements, m a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             if (!square_pow2_size(n)) {
+               throw std::invalid_argument(
+                   "matmul: n must be m^2, m a power of two");
+             }
+             const std::uint64_t m = sqrt_pow2(n);
+             return matmul_oblivious(random_matrix(m, m),
+                                     random_matrix(m, m + 1), true, policy)
+                 .trace;
+           },
+       .predicted = predict::matmul,
+       .lower_bound = lb::matmul,
+       .bench_sizes = {64, 4096, 16384},
+       .smoke_sizes = {64, 1024},
+       .validate = square_pow2_size});
+
+  add({.name = "matmul-space",
+       .summary = "space-efficient matrix multiplication, O(1) extra memory",
+       .source = "Sec 4.1.1",
+       .size_rule = "n = m^2 elements, m a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             if (!square_pow2_size(n)) {
+               throw std::invalid_argument(
+                   "matmul-space: n must be m^2, m a power of two");
+             }
+             const std::uint64_t m = sqrt_pow2(n);
+             return matmul_space_oblivious(random_matrix(m, m),
+                                           random_matrix(m, m + 1), true,
+                                           policy)
+                 .trace;
+           },
+       .predicted = predict::matmul_space,
+       .lower_bound = lb::matmul_space,
+       .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 1024},
+       .validate = square_pow2_size});
+
+  add({.name = "fft",
+       .summary = "network-oblivious FFT on the butterfly DAG",
+       .source = "Thm 4.5",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return fft_oblivious(random_signal(n, n), true, policy).trace;
+           },
+       .predicted = predict::fft,
+       .lower_bound = lb::fft,
+       .bench_sizes = {64, 1024, 16384},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+
+  add({.name = "sort",
+       .summary = "recursive Columnsort",
+       .source = "Thm 4.8",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return sort_oblivious(random_keys(n, n), true, policy).trace;
+           },
+       .predicted = predict::sort,
+       .lower_bound = lb::sort,
+       .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 256},
+       .validate = pow2_size});
+
+  add({.name = "bitonic",
+       .summary = "Batcher's bitonic sorting network (ablation baseline)",
+       .source = "Sec 4.3",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return bitonic_sort_oblivious(random_keys(n, n), policy).trace;
+           },
+       .predicted = bitonic_predicted,
+       .lower_bound = lb::sort,
+       .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 256},
+       .validate = pow2_size});
+
+  add({.name = "stencil1",
+       .summary = "(n,1)-stencil diamond decomposition",
+       .source = "Thm 4.11",
+       .size_rule = "rod length n, a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return stencil1_oblivious(random_rod(n, n), heat_rule, true, 0,
+                                       policy)
+                 .trace;
+           },
+       .predicted = predict::stencil1,
+       .lower_bound =
+           [](std::uint64_t n, std::uint64_t p, double sigma) {
+             return lb::stencil(n, 1, p, sigma);
+           },
+       .bench_sizes = {64, 256, 1024},
+       .smoke_sizes = {64, 256},
+       .validate = pow2_size});
+
+  add({.name = "stencil2",
+       .summary = "(n,2)-stencil schedule on M(n^2) (cost-faithful)",
+       .source = "Thm 4.13",
+       .size_rule = "grid side n, a power of two >= 2 (v = n^2)",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return stencil2_oblivious_schedule(n, true, 0, policy).trace;
+           },
+       .predicted = predict::stencil2,
+       .lower_bound =
+           [](std::uint64_t n, std::uint64_t p, double sigma) {
+             return lb::stencil(n, 2, p, sigma);
+           },
+       .bench_sizes = {16, 64, 128},
+       .smoke_sizes = {16},
+       .validate = pow2_size_ge2});
+
+  add({.name = "broadcast",
+       .summary = "network-oblivious binary-tree broadcast (fanout 2)",
+       .source = "Sec 4.5 / Thm 4.16",
+       .size_rule = "n = v processors, a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return broadcast_oblivious(n, 2, 1, policy).trace;
+           },
+       .predicted =
+           [](std::uint64_t, std::uint64_t p, double sigma) {
+             return predict::broadcast_oblivious(p, sigma, 2);
+           },
+       .lower_bound =
+           [](std::uint64_t, std::uint64_t p, double sigma) {
+             return lb::broadcast(p, sigma);
+           },
+       .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+}
+
+}  // namespace nobl

@@ -1,0 +1,72 @@
+// AlgoRegistry: the single catalogue of network-oblivious algorithms.
+//
+// Every algorithm entry point under src/algorithms/ registers here with
+//
+//   * a PolicyRunner executing one specification-model run of size n under a
+//     chosen engine (inputs generated deterministically from n, see
+//     core/workloads.hpp — traces are input-oblivious anyway),
+//   * its closed-form predicted cost (Section 4 upper bounds) and the
+//     matching lower bound, both as CostFormula (n, p, σ) -> value,
+//   * the size sweeps its bench and the CI smoke campaign use.
+//
+// The bench binaries, the `nobl` CLI and the campaign runner all pull
+// runners and formulas from here instead of re-declaring them, so adding an
+// algorithm in one place makes it visible to `nobl list`, `nobl run`,
+// `nobl certify`, the benches, and the conformance tests at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/optimality.hpp"
+
+namespace nobl {
+
+struct AlgoEntry {
+  std::string name;     ///< stable CLI identifier, e.g. "fft"
+  std::string summary;  ///< one line for `nobl list`
+  std::string source;   ///< paper anchor, e.g. "Thm 4.5"
+  /// Constraint on admissible n, shown in `nobl list` and error messages.
+  std::string size_rule;
+  PolicyRunner runner;
+  CostFormula predicted;
+  CostFormula lower_bound;
+  /// The bench binaries' historical sweep (kept byte-identical by tests).
+  std::vector<std::uint64_t> bench_sizes;
+  /// Small sizes for the ci-smoke campaign (seconds, not minutes).
+  std::vector<std::uint64_t> smoke_sizes;
+
+  /// True iff `n` satisfies size_rule (the runner would accept it).
+  [[nodiscard]] bool admits(std::uint64_t n) const {
+    return validate == nullptr || validate(n);
+  }
+  bool (*validate)(std::uint64_t n) = nullptr;
+};
+
+class AlgoRegistry {
+ public:
+  /// The process-wide registry, populated with every src/algorithms/ entry
+  /// point on first use.
+  [[nodiscard]] static const AlgoRegistry& instance();
+
+  /// Lookup by name; nullptr when unknown.
+  [[nodiscard]] const AlgoEntry* find(const std::string& name) const;
+
+  /// Lookup by name; throws std::invalid_argument listing the known names.
+  [[nodiscard]] const AlgoEntry& at(const std::string& name) const;
+
+  /// Registration order (the order `nobl list` prints).
+  [[nodiscard]] const std::vector<AlgoEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  AlgoRegistry();
+  void add(AlgoEntry entry);
+
+  std::vector<AlgoEntry> entries_;
+};
+
+}  // namespace nobl

@@ -1,0 +1,58 @@
+// Deterministic workload generators shared by the registry runners, the
+// bench binaries, and the CLI campaign runner.
+//
+// The algorithms in this repo are network-oblivious: their communication
+// traces do not depend on input *values*, only on sizes. The seeds below
+// therefore pin output values for conformance checks; every trace-derived
+// table is already reproducible by construction.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nobl::workloads {
+
+inline Matrix<long> random_matrix(std::uint64_t m, std::uint64_t seed) {
+  Matrix<long> a(m, m);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      a(i, j) = static_cast<long>(rng.below(128)) - 64;
+    }
+  }
+  return a;
+}
+
+inline std::vector<std::uint64_t> random_keys(std::uint64_t n,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.below(std::uint64_t{1} << 48);
+  return keys;
+}
+
+inline std::vector<std::complex<double>> random_signal(std::uint64_t n,
+                                                       std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {rng.unit() * 2 - 1, rng.unit() * 2 - 1};
+  return x;
+}
+
+inline std::vector<double> random_rod(std::uint64_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.unit();
+  return x;
+}
+
+/// The 1-D heat rule used by every stencil1 experiment in the repo.
+inline double heat_rule(double l, double c, double r) {
+  return 0.25 * l + 0.5 * c + 0.25 * r;
+}
+
+}  // namespace nobl::workloads

@@ -1,0 +1,428 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace nobl {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double d) {
+  if (!std::isfinite(d)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec != std::errc{}) return "null";  // cannot happen for finite doubles
+  return std::string(buf, end);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expect_value_) {
+    throw std::logic_error("JsonWriter: end_object outside an object");
+  }
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) top_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: end_array outside an array");
+  }
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) top_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expect_value_) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  before_value(/*is_key=*/true);
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  expect_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+bool JsonWriter::done() const { return top_done_ && stack_.empty(); }
+
+void JsonWriter::before_value(bool is_key) {
+  if (top_done_) throw std::logic_error("JsonWriter: document already closed");
+  if (expect_value_ && !is_key) {
+    expect_value_ = false;  // this value satisfies the pending key
+    return;
+  }
+  if (stack_.empty()) return;  // the single top-level value
+  if (stack_.back() == Frame::kObject && !is_key) {
+    throw std::logic_error("JsonWriter: object member without key()");
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(k), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // produced by our writer; lone surrogates pass through encoded).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    double d = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || end != text_.data() + pos_) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw std::invalid_argument("JSON: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw std::invalid_argument("JSON: not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw std::invalid_argument("JSON: not a string");
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::kArray) throw std::invalid_argument("JSON: not an array");
+  return arr_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::kObject) {
+    throw std::invalid_argument("JSON: not an object");
+  }
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(k);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+  const JsonValue* v = find(k);
+  if (v == nullptr) {
+    throw std::invalid_argument("JSON: missing required key \"" + k + "\"");
+  }
+  return *v;
+}
+
+}  // namespace nobl

@@ -1,0 +1,142 @@
+// Dependency-free JSON support for the campaign runner and CI tooling.
+//
+// Two halves, both deliberately small:
+//
+//   * JsonWriter — a streaming, stack-checked emitter. Strings are escaped
+//     per RFC 8259; doubles are printed with the shortest representation
+//     that round-trips (std::to_chars), so a value written by `nobl run`
+//     and re-read by `nobl check` compares exactly. Non-finite doubles
+//     (JSON has no NaN/Inf) are emitted as null.
+//   * JsonValue — a minimal DOM with a recursive-descent parser, enough to
+//     read result files and threshold files back. Parse errors throw
+//     std::invalid_argument naming the byte offset.
+//
+// Numbers are stored as double (53-bit exact integer range), which covers
+// every quantity the result schema carries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nobl {
+
+/// Escape `s` for inclusion in a JSON string literal (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest decimal form of `d` that parses back to the same double;
+/// "null" for NaN/Inf. Integral values within the exact range print with
+/// no fractional part.
+[[nodiscard]] std::string json_number(double d);
+
+class JsonWriter {
+ public:
+  /// indent <= 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be directly inside an object, and must be
+  /// followed by exactly one value (or container). Throws std::logic_error
+  /// on misuse — writer bugs should fail loudly in tests, not emit garbage.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool done() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value(bool is_key = false);
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_ = 2;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool expect_value_ = false;    // a key was just written
+  bool top_done_ = false;
+};
+
+/// Minimal JSON DOM. Object member order is not preserved (std::map).
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+  // explicit, and with a const char* overload, so a string literal can never
+  // silently take the pointer->bool conversion and construct `true`.
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) : type_(Type::kNumber), num_(d) {}
+  JsonValue(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  /// Parse a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Throws std::invalid_argument with the byte offset.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+
+  /// Typed accessors; throw std::invalid_argument on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup: nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& k) const;
+  /// Object member lookup; throws std::invalid_argument naming `k` when
+  /// absent (schema validation reads better with the key in the message).
+  [[nodiscard]] const JsonValue& at(const std::string& k) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace nobl

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace nobl {
 
 Table::Table(std::string title, std::vector<std::string> headers)
@@ -97,6 +99,25 @@ void Table::print_csv(std::ostream& os) const {
   };
   emit(headers_);
   for (const auto& row : cells_) emit(row);
+}
+
+void Table::print_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema_version").value(kJsonSchemaVersion);
+  w.key("title").value(title_);
+  w.key("headers").begin_array();
+  for (const auto& h : headers_) w.value(h);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : cells_) {
+    w.begin_array();
+    for (const auto& cell : row) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
 }
 
 std::ostream& operator<<(std::ostream& os, const Table& table) {

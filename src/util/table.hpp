@@ -37,7 +37,26 @@ class Table {
   /// Render as comma-separated values (header row included).
   void print_csv(std::ostream& os) const;
 
+  /// Render as a schema-versioned JSON object:
+  ///   {"schema_version": 1, "title": ..., "headers": [...],
+  ///    "rows": [[cell, ...], ...]}
+  /// Cells are emitted as the same formatted strings the text renderer
+  /// prints, so the two views of one table always agree.
+  void print_json(std::ostream& os) const;
+
+  /// Schema version stamped by print_json (bump on layout changes).
+  static constexpr int kJsonSchemaVersion = 1;
+
   static std::string format_double(double value);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells()
+      const noexcept {
+    return cells_;
+  }
 
  private:
   std::string title_;

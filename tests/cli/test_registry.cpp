@@ -1,0 +1,144 @@
+// AlgoRegistry invariants, plus the golden-output guarantee behind the bench
+// refactor: tables built from registry runners/formulas must be byte-for-byte
+// identical to tables built the way the bench mains historically did it
+// (direct algorithm calls + predict::/lb:: formulas).
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/sort.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/predictions.hpp"
+#include "core/workloads.hpp"
+#include "util/table.hpp"
+
+namespace nobl {
+namespace {
+
+TEST(Registry, CoversEveryAlgorithmFamily) {
+  const auto& entries = AlgoRegistry::instance().entries();
+  EXPECT_GE(entries.size(), 8u);
+  for (const char* name : {"matmul", "matmul-space", "fft", "sort", "bitonic",
+                           "stencil1", "stencil2", "broadcast"}) {
+    EXPECT_NE(AlgoRegistry::instance().find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, EntriesAreWellFormed) {
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_FALSE(entry.summary.empty()) << entry.name;
+    EXPECT_FALSE(entry.size_rule.empty()) << entry.name;
+    EXPECT_TRUE(entry.runner != nullptr) << entry.name;
+    EXPECT_TRUE(entry.predicted != nullptr) << entry.name;
+    EXPECT_TRUE(entry.lower_bound != nullptr) << entry.name;
+    EXPECT_FALSE(entry.bench_sizes.empty()) << entry.name;
+    EXPECT_FALSE(entry.smoke_sizes.empty()) << entry.name;
+    for (const auto n : entry.bench_sizes) {
+      EXPECT_TRUE(entry.admits(n)) << entry.name << " bench n=" << n;
+    }
+    for (const auto n : entry.smoke_sizes) {
+      EXPECT_TRUE(entry.admits(n)) << entry.name << " smoke n=" << n;
+    }
+  }
+}
+
+TEST(Registry, UnknownNameListsKnownOnes) {
+  try {
+    (void)AlgoRegistry::instance().at("quicksort");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("quicksort"), std::string::npos);
+    EXPECT_NE(message.find("matmul"), std::string::npos);
+  }
+}
+
+TEST(Registry, RunnersRejectBadSizes) {
+  const auto& registry = AlgoRegistry::instance();
+  EXPECT_THROW((void)registry.at("matmul").runner(48, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.at("fft").runner(100, {}),
+               std::invalid_argument);
+  EXPECT_FALSE(registry.at("matmul").admits(48));
+  EXPECT_FALSE(registry.at("stencil2").admits(1));
+}
+
+std::string rendered(const Table& table) {
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+// The historical bench_fft::build_runs, verbatim.
+std::vector<AlgoRun> legacy_fft_runs(const std::vector<std::uint64_t>& sizes) {
+  return make_runs(sizes, [](std::uint64_t n, const ExecutionPolicy& policy) {
+    return fft_oblivious(workloads::random_signal(n, n), true, policy).trace;
+  });
+}
+
+TEST(RegistryGolden, FftTableMatchesLegacyConstructionByteForByte) {
+  const AlgoEntry& entry = AlgoRegistry::instance().at("fft");
+  const std::vector<std::uint64_t> sizes{64, 1024};
+  const Table via_registry =
+      h_table("n-FFT vs Lemma 4.4 (Scquizzato-Silvestri Thm 11)",
+              make_runs(sizes, entry.runner), entry.predicted,
+              entry.lower_bound);
+  const Table legacy =
+      h_table("n-FFT vs Lemma 4.4 (Scquizzato-Silvestri Thm 11)",
+              legacy_fft_runs(sizes), predict::fft, lb::fft);
+  EXPECT_EQ(rendered(via_registry), rendered(legacy));
+}
+
+TEST(RegistryGolden, MatmulTableMatchesLegacyConstructionByteForByte) {
+  const AlgoEntry& entry = AlgoRegistry::instance().at("matmul");
+  // Historical bench_matmul::build_runs: m in {8, 64}, seeds (m, m+1).
+  std::vector<AlgoRun> legacy;
+  for (const std::uint64_t m : {8u, 64u}) {
+    legacy.push_back(
+        AlgoRun{m * m, matmul_oblivious(workloads::random_matrix(m, m),
+                                        workloads::random_matrix(m, m + 1),
+                                        true, {})
+                           .trace});
+  }
+  const Table via_registry =
+      h_table("n-MM: measured vs predicted vs Lemma 4.1",
+              make_runs({64, 4096}, entry.runner), entry.predicted,
+              entry.lower_bound);
+  const Table legacy_table = h_table("n-MM: measured vs predicted vs Lemma 4.1",
+                                     legacy, predict::matmul, lb::matmul);
+  EXPECT_EQ(rendered(via_registry), rendered(legacy_table));
+}
+
+TEST(RegistryGolden, SortWisenessMatchesLegacyConstructionByteForByte) {
+  const AlgoEntry& entry = AlgoRegistry::instance().at("sort");
+  std::vector<AlgoRun> legacy;
+  for (const std::uint64_t n : {64u, 1024u}) {
+    legacy.push_back(AlgoRun{
+        n, sort_oblivious(workloads::random_keys(n, n), true, {}).trace});
+  }
+  EXPECT_EQ(rendered(wiseness_table("n-sort wiseness across folds",
+                                    make_runs({64, 1024}, entry.runner))),
+            rendered(wiseness_table("n-sort wiseness across folds", legacy)));
+}
+
+TEST(Registry, TracesAreEngineInvariant) {
+  // The registry runner contract the CLI's trace export leans on.
+  for (const char* name : {"fft", "broadcast"}) {
+    const AlgoEntry& entry = AlgoRegistry::instance().at(name);
+    const Trace seq = entry.runner(64, ExecutionPolicy::sequential());
+    const Trace par = entry.runner(64, ExecutionPolicy::parallel(2));
+    ASSERT_EQ(seq.supersteps(), par.supersteps()) << name;
+    for (std::size_t s = 0; s < seq.supersteps(); ++s) {
+      EXPECT_EQ(seq.steps()[s].degree, par.steps()[s].degree) << name;
+      EXPECT_EQ(seq.steps()[s].messages, par.steps()[s].messages) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nobl

@@ -1,0 +1,149 @@
+// The JSON layer backs the CI gate: escaping must be lossless, numbers must
+// round-trip bit-exactly, and the writer must refuse to emit malformed
+// documents (logic_error) rather than corrupt an artifact.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace nobl {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body,
+                   int indent = 0) {
+  std::ostringstream os;
+  JsonWriter w(os, indent);
+  body(w);
+  return os.str();
+}
+
+TEST(JsonEscape, ControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(json_escape("π ≈ 3"), "π ≈ 3");  // UTF-8 passes through
+}
+
+TEST(JsonEscape, RoundTripsThroughParser) {
+  const std::string nasty = "quote\" slash\\ newline\n tab\t ctrl\x02 end";
+  std::string doc = "\"";
+  doc += json_escape(nasty);
+  doc += '"';
+  EXPECT_EQ(JsonValue::parse(doc).as_string(), nasty);
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  for (const double d : {0.0, -0.0, 1.0, -1.5, 1.0 / 3.0, 6.02214076e23,
+                         5e-324, std::numeric_limits<double>::max(),
+                         0.1 + 0.2, 123456789012345.0}) {
+    const std::string text = json_number(d);
+    const double back = JsonValue::parse(text).as_number();
+    EXPECT_EQ(back, d) << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, CompactDocument) {
+  const std::string doc = render([](JsonWriter& w) {
+    w.begin_object();
+    w.key("name").value("nobl");
+    w.key("ok").value(true);
+    w.key("count").value(std::uint64_t{42});
+    w.key("items").begin_array().value(1.5).null().end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(doc, R"({"name":"nobl","ok":true,"count":42,)"
+                 R"("items":[1.5,null]})");
+}
+
+TEST(JsonWriter, IndentedDocumentParses) {
+  const std::string doc = render(
+      [](JsonWriter& w) {
+        w.begin_object();
+        w.key("rows").begin_array();
+        w.begin_array().value("a").value(std::int64_t{-3}).end_array();
+        w.end_array();
+        w.end_object();
+        EXPECT_TRUE(w.done());
+      },
+      2);
+  const JsonValue v = JsonValue::parse(doc);
+  EXPECT_EQ(v.at("rows").as_array()[0].as_array()[1].as_number(), -3.0);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), std::logic_error);      // member without key
+  EXPECT_THROW(w.end_array(), std::logic_error);     // mismatched close
+  w.key("k");
+  EXPECT_THROW(w.end_object(), std::logic_error);    // dangling key
+  w.value(1.0);
+  w.end_object();
+  EXPECT_THROW(w.value(2.0), std::logic_error);      // after completion
+}
+
+TEST(JsonParse, Document) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": null, "d": false}, "e": "x"})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(v.at("b").at("c").is_null());
+  EXPECT_FALSE(v.at("b").at("d").as_bool());
+  EXPECT_EQ(v.at("e").as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::invalid_argument);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParse, ErrorsNameByteOffset) {
+  try {
+    (void)JsonValue::parse("{\"a\": }");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 6"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("tru"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"),
+               std::invalid_argument);
+}
+
+TEST(TableJson, SchemaVersionedAndEscaped) {
+  Table t("tricky \"title\"", {"col\n1", "col2"});
+  t.row().add("va\\lue").add(1.25);
+  std::ostringstream os;
+  t.print_json(os);
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_EQ(v.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(v.at("title").as_string(), "tricky \"title\"");
+  EXPECT_EQ(v.at("headers").as_array()[0].as_string(), "col\n1");
+  // Cells carry the text renderer's formatted strings, so the two views of
+  // one table never disagree.
+  EXPECT_EQ(v.at("rows").as_array()[0].as_array()[1].as_string(),
+            Table::format_double(1.25));
+}
+
+}  // namespace
+}  // namespace nobl
