@@ -24,6 +24,8 @@
 
 namespace nobl::benchx {
 
+using workloads::duplicate_heavy_keys;
+using workloads::random_addends;
 using workloads::random_keys;
 using workloads::random_matrix;
 using workloads::random_rod;

@@ -1,0 +1,106 @@
+// Network-oblivious parallel prefix-scan (tree reduction pattern).
+//
+// n values, one per VP of M(n); the output at VP r is the inclusive prefix
+// sum x_0 + ... + x_r (uint64 arithmetic, wrap-around semantics). The
+// schedule is the classic two-sweep (Blelloch) tree:
+//
+//   upsweep   — log n rounds; round t merges aligned blocks of 2^t values,
+//               the right block's leader sending its partial to the left
+//               leader (label log n - t - 1, degree exactly 1);
+//   downsweep — log n rounds in reverse; a block leader pushes the prefix
+//               of everything left of its right half to that half's leader
+//               (same labels, degree exactly 1).
+//
+// Every label i < log n therefore carries exactly two degree-1 supersteps,
+// which makes the communication complexity *exact* under folding:
+//
+//   H_scan(n, p, σ) = 2·log p·(1 + σ)        (predict::scan, ratio ≡ 1).
+//
+// Like the broadcast of Section 4.5 — scan is its converse: a reduction
+// tree feeding a scatter tree — the fixed fanout cannot adapt to σ, so the
+// algorithm is Θ(1)-optimal against the gather/scatter lower bound
+// Ω(max{2,σ}·log_{max{2,σ}} p) only for σ = O(1), and its wiseness α(p) is
+// Θ(1/p): folding onto fewer processors cannot densify a tree whose total
+// traffic is Θ(p) at every fold. This is the tree-pattern counterpart of
+// the paper's Theorem 4.16 limitation, and the benches report the same GAP
+// study for it (bench/bench_scan.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "bsp/trace.hpp"
+#include "util/bits.hpp"
+
+namespace nobl {
+
+struct ScanRun {
+  std::vector<std::uint64_t> output;  ///< inclusive prefix sums, one per VP
+  Trace trace;
+};
+
+/// Inclusive prefix sums of n = |values| (power of two) values on M(n).
+inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
+                              ExecutionPolicy policy = {}) {
+  const std::uint64_t n = values.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("scan_oblivious: size must be a power of two");
+  }
+  Machine<std::uint64_t> machine(n, policy);
+  using VpT = Vp<std::uint64_t>;
+  const unsigned log_n = machine.log_v();
+
+  if (n == 1) {
+    machine.superstep(0, [](VpT&) {});
+    return ScanRun{values, machine.trace()};
+  }
+
+  // Upsweep. totals[t][b] = sum of block b of size 2^t, stored compacted
+  // (n/2^t entries per level, O(n) overall) because the downsweep needs
+  // every left-half total. Superstep bodies only send; the host mirrors
+  // the fold after each barrier (bodies must not write state co-active
+  // VPs read).
+  std::vector<std::vector<std::uint64_t>> totals(log_n + 1);
+  totals[0] = values;
+  for (unsigned t = 0; t < log_n; ++t) {
+    const std::uint64_t block = std::uint64_t{1} << t;
+    const unsigned label = log_n - (t + 1);
+    machine.superstep(label, [&](VpT& vp) {
+      const std::uint64_t r = vp.id();
+      if ((r & (2 * block - 1)) == block) vp.send(r - block, totals[t][r >> t]);
+    });
+    totals[t + 1].resize(n >> (t + 1));
+    for (std::uint64_t b = 0; b < totals[t + 1].size(); ++b) {
+      totals[t + 1][b] = totals[t][2 * b] + totals[t][2 * b + 1];
+    }
+  }
+
+  // Downsweep. prefix[b] = sum of everything before block b at the current
+  // granularity (compacted like totals); right halves receive prefix +
+  // left total from their block leader.
+  std::vector<std::uint64_t> prefix{0};
+  for (unsigned t = log_n; t-- > 0;) {
+    const std::uint64_t block = std::uint64_t{1} << t;
+    const unsigned label = log_n - (t + 1);
+    machine.superstep(label, [&](VpT& vp) {
+      const std::uint64_t r = vp.id();
+      if ((r & (2 * block - 1)) == 0) {
+        vp.send(r + block, prefix[r >> (t + 1)] + totals[t][r >> t]);
+      }
+    });
+    std::vector<std::uint64_t> next(n >> t);
+    for (std::uint64_t b = 0; b < prefix.size(); ++b) {
+      next[2 * b] = prefix[b];
+      next[2 * b + 1] = prefix[b] + totals[t][2 * b];
+    }
+    prefix.swap(next);
+  }
+
+  std::vector<std::uint64_t> output(n);
+  for (std::uint64_t r = 0; r < n; ++r) output[r] = prefix[r] + values[r];
+  return ScanRun{std::move(output), machine.trace()};
+}
+
+}  // namespace nobl

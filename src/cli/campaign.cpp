@@ -122,6 +122,17 @@ AlgoSweep parse_sweep(std::string_view tok, std::size_t line,
                  "empty size in sweep for \"" + name + "\"");
     }
     const std::uint64_t n = parse_u64(size_tok, line, column + pos + 1);
+    // Cap sweeps at the size the simulator can realistically hold for THIS
+    // kernel (super-linear footprints — M(n²) machines, n x n grids —
+    // carry smaller registry caps): a legal but astronomical n must die
+    // here, at the parser, with a position — not as an allocation failure
+    // mid-campaign.
+    if (n == 0 || n > entry->max_sweep_size) {
+      parse_fail(line, column + pos + 1,
+                 "size " + std::string(size_tok) + " for \"" + name +
+                     "\" out of range [1, " +
+                     std::to_string(entry->max_sweep_size) + "]");
+    }
     if (!entry->admits(n)) {
       parse_fail(line, column + pos + 1,
                  "algorithm \"" + name + "\" rejects n = " + std::to_string(n) +
@@ -224,7 +235,8 @@ CampaignSpec builtin_campaign(const std::string& name) {
   spec.name = name;
   if (name == "ci-smoke") {
     // >= 4 algorithms x {sequential, parallel}: the CI conformance matrix.
-    for (const char* algo : {"matmul", "fft", "sort", "broadcast"}) {
+    for (const char* algo : {"matmul", "fft", "sort", "scan", "transpose",
+                             "samplesort", "broadcast"}) {
       const AlgoEntry& entry = AlgoRegistry::instance().at(algo);
       spec.sweeps.push_back({entry.name, entry.smoke_sizes});
     }
@@ -235,8 +247,8 @@ CampaignSpec builtin_campaign(const std::string& name) {
   if (name == "golden") {
     // The fixed tiny sweep archived under tests/golden/ — keep in lockstep
     // with tests/cli/test_golden_traces.cpp.
-    for (const char* algo :
-         {"matmul", "fft", "sort", "stencil1", "broadcast"}) {
+    for (const char* algo : {"matmul", "fft", "sort", "scan", "transpose",
+                             "samplesort", "stencil1", "broadcast"}) {
       spec.sweeps.push_back({algo, {64}});
     }
     spec.engines = {ExecutionPolicy::sequential()};

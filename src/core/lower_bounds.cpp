@@ -52,6 +52,16 @@ double broadcast(std::uint64_t p, double sigma) {
   return base * std::max(1.0, std::log2(dn(p)) / std::log2(base));
 }
 
+double scan(std::uint64_t p, double sigma) {
+  require(p >= 2, "lb::scan: need p >= 2");
+  return broadcast(p, sigma);
+}
+
+double transpose(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 1, "lb::transpose: need p >= 2, n >= 1");
+  return (dn(n) / dn(p)) * (1.0 - 1.0 / dn(p)) + sigma;
+}
+
 double broadcast_cost_at_rounds(double t, std::uint64_t p, double sigma) {
   require(p >= 2 && t >= 1.0, "lb::broadcast_cost_at_rounds: bad arguments");
   return t * (std::max(2.0, sigma) + std::pow(dn(p), 1.0 / t));

@@ -40,6 +40,17 @@ namespace lb {
 /// Theorem 4.15: Ω(max{2,σ} · log_{max{2,σ}} p) for n-broadcast.
 [[nodiscard]] double broadcast(std::uint64_t p, double sigma);
 
+/// n-prefix (scan): the last output depends on every input, so the gather
+/// argument dual to Theorem 4.15 applies verbatim —
+/// Ω(max{2,σ} · log_{max{2,σ}} p).
+[[nodiscard]] double scan(std::uint64_t p, double sigma);
+
+/// n-transposition (n = m² elements, row-major folding): a processor holds
+/// n/p elements of which only the (m/√p·...)-block on the band diagonal
+/// stays local, so it must send ≥ (n/p)(1 - 1/p) of them, plus one
+/// superstep of latency: Ω((n/p)(1 - 1/p) + σ).
+[[nodiscard]] double transpose(std::uint64_t n, std::uint64_t p, double sigma);
+
 /// Theorem 4.16: lower bound on GAP_A(n,p,σ1,σ2) for *any* network-oblivious
 /// broadcast: Ω(log max{2,σ2} / (log max{2,σ1} + log log max{2,σ2})).
 [[nodiscard]] double broadcast_gap(double sigma1, double sigma2);

@@ -75,6 +75,65 @@ double stencil2(std::uint64_t n, std::uint64_t p, double sigma) {
   return (dn(n) * dn(n) / std::sqrt(dn(p)) + sigma) * std::pow(8.0, root);
 }
 
+double scan(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
+          "predict::scan: need 2 <= p <= n, powers of two");
+  return 2.0 * dn(log2_exact(p)) * (1.0 + sigma);
+}
+
+double transpose(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && log2_exact(n) % 2 == 0,
+          "predict::transpose: n must be m^2, m a power of two");
+  require(is_pow2(p) && p >= 2 && p <= n,
+          "predict::transpose: need 2 <= p <= n, a power of two");
+  const std::uint64_t m = sqrt_pow2(n);
+  const unsigned log_m = log2_exact(m);
+  const unsigned log_p = log2_exact(p);
+  const unsigned levels = std::min(log_p, log_m);
+  double h = 0.0;
+  for (unsigned d = 0; d < levels; ++d) {
+    // Depth-d crossing volume per processor, exact at every fold: with
+    // whole-row clusters (p <= m) a processor's m/p rows each ship their
+    // m/2^{d+1} moving columns; with sub-row clusters (p > m) the cluster
+    // window covers min(n/p, m/2^{d+1}) of its row's aligned moving run.
+    h += p <= m ? dn(n) / (dn(p) * dn(std::uint64_t{2} << d))
+                : std::min(dn(n) / dn(p), dn(m) / dn(std::uint64_t{2} << d));
+  }
+  return h + sigma * dn(levels);
+}
+
+double samplesort(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
+          "predict::samplesort: need 2 <= p <= n, powers of two");
+  const unsigned log_n = log2_exact(n);
+  const unsigned log_p = log2_exact(p);
+  const std::uint64_t s = std::uint64_t{1} << (log_n / 2);
+  const std::uint64_t c = n / s;
+  const unsigned log_s = log2_exact(s);
+  const double np = dn(n) / dn(p);
+
+  // Phases 1+3: sample/splitter gathers into the head cluster.
+  double h = std::min(dn(s) * (1.0 - 1.0 / dn(p)), np) + sigma;
+  h += (p > c ? std::min(dn(s), np) : 0.0) + sigma;
+  // Phase 2: bitonic stages on the samples, label log n - 1 - bit.
+  std::uint64_t stages = 0;
+  for (unsigned phase = 0; phase < log_s; ++phase) {
+    for (unsigned bit = 0; bit <= phase; ++bit) {
+      if (log_n - 1 - bit < log_p) ++stages;
+    }
+  }
+  h += dn(stages) * (1.0 + sigma);
+  // Phase 4: splitter broadcast, s-1 messages per tree edge.
+  h += dn(std::min(log_p, log_n)) * (dn(s) - 1.0 + sigma);
+  // Phases 5+8: route to buckets, then place at final ranks.
+  h += 2.0 * (np + sigma);
+  // Phase 6: in-bucket all-to-all, internal until the fold splits buckets.
+  if (p > s) h += np * (dn(c) - 1.0) + sigma;
+  // Phase 7: two-sweep offset scan over the s bucket leaders.
+  h += 2.0 * dn(std::min(log_p, log_s)) * (1.0 + sigma);
+  return h;
+}
+
 double broadcast_aware(std::uint64_t p, double sigma) {
   require(p >= 2, "predict::broadcast_aware: p >= 2");
   const double base = std::max(2.0, sigma);

@@ -49,5 +49,20 @@ namespace predict {
 /// The recursion-depth parameter k = 2^⌈√log n⌉ of §4.4.
 [[nodiscard]] std::uint64_t stencil_k(std::uint64_t n);
 
+/// Two-sweep tree prefix-scan: exactly two degree-1 supersteps per label,
+/// so H_scan(n,p,σ) = 2·log p·(1+σ) — exact, not just an envelope.
+[[nodiscard]] double scan(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Recursive block transposition of an m x m matrix (n = m² elements):
+/// H_T(n,p,σ) = (n/p)(1 - 1/p) + σ·log p for p <= m, and per-level
+/// crossings clamped to the sub-row cluster window for p > m. Exact at
+/// every fold (the property tests pin equality, not just a ratio band).
+[[nodiscard]] double transpose(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Sample-sort structural envelope (see algorithms/samplesort.hpp):
+/// gather + sample bitonic + splitter broadcast + route + in-bucket
+/// all-to-all + offset scan + placement, each term counted at fold p.
+[[nodiscard]] double samplesort(std::uint64_t n, std::uint64_t p, double sigma);
+
 }  // namespace predict
 }  // namespace nobl

@@ -7,9 +7,12 @@
 #include "algorithms/fft.hpp"
 #include "algorithms/matmul.hpp"
 #include "algorithms/matmul_space.hpp"
+#include "algorithms/samplesort.hpp"
+#include "algorithms/scan.hpp"
 #include "algorithms/sort.hpp"
 #include "algorithms/stencil1d.hpp"
 #include "algorithms/stencil2d.hpp"
+#include "algorithms/transpose.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/predictions.hpp"
 #include "core/workloads.hpp"
@@ -79,7 +82,8 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::matmul,
        .bench_sizes = {64, 4096, 16384},
        .smoke_sizes = {64, 1024},
-       .validate = square_pow2_size});
+       .validate = square_pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 18});
 
   add({.name = "matmul-space",
        .summary = "space-efficient matrix multiplication, O(1) extra memory",
@@ -101,7 +105,8 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::matmul_space,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 1024},
-       .validate = square_pow2_size});
+       .validate = square_pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 18});
 
   add({.name = "fft",
        .summary = "network-oblivious FFT on the butterfly DAG",
@@ -129,7 +134,8 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::sort,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 256},
-       .validate = pow2_size});
+       .validate = pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 20});
 
   add({.name = "bitonic",
        .summary = "Batcher's bitonic sorting network (ablation baseline)",
@@ -143,7 +149,8 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::sort,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 256},
-       .validate = pow2_size});
+       .validate = pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 20});
 
   add({.name = "stencil1",
        .summary = "(n,1)-stencil diamond decomposition",
@@ -162,7 +169,8 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {64, 256, 1024},
        .smoke_sizes = {64, 256},
-       .validate = pow2_size});
+       .validate = pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 13});
 
   add({.name = "stencil2",
        .summary = "(n,2)-stencil schedule on M(n^2) (cost-faithful)",
@@ -179,7 +187,59 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {16, 64, 128},
        .smoke_sizes = {16},
-       .validate = pow2_size_ge2});
+       .validate = pow2_size_ge2,
+       .max_sweep_size = std::uint64_t{1} << 10});
+
+  add({.name = "scan",
+       .summary = "two-sweep tree prefix-scan (tree-reduction pattern)",
+       .source = "Sec 4.5 dual / Sec 5",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return scan_oblivious(random_addends(n, n), policy).trace;
+           },
+       .predicted = predict::scan,
+       .lower_bound =
+           [](std::uint64_t, std::uint64_t p, double sigma) {
+             return lb::scan(p, sigma);
+           },
+       .bench_sizes = {64, 1024, 16384},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+
+  add({.name = "transpose",
+       .summary = "recursive block matrix transposition (all-to-all pattern)",
+       .source = "Sec 4.2 building block",
+       .size_rule = "n = m^2 elements, m a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             if (!square_pow2_size(n)) {
+               throw std::invalid_argument(
+                   "transpose: n must be m^2, m a power of two");
+             }
+             const std::uint64_t m = sqrt_pow2(n);
+             return transpose_oblivious(random_matrix(m, m), policy).trace;
+           },
+       .predicted = predict::transpose,
+       .lower_bound = lb::transpose,
+       .bench_sizes = {64, 4096, 16384},
+       .smoke_sizes = {64, 1024},
+       .validate = square_pow2_size});
+
+  add({.name = "samplesort",
+       .summary = "splitter-based sample-sort (data-dependent routing)",
+       .source = "Sec 4.3 ablation",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const ExecutionPolicy& policy) {
+             return samplesort_oblivious(random_keys(n, n), policy).trace;
+           },
+       .predicted = predict::samplesort,
+       .lower_bound = lb::sort,
+       .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 256},
+       .validate = pow2_size,
+       .max_sweep_size = std::uint64_t{1} << 16});
 
   add({.name = "broadcast",
        .summary = "network-oblivious binary-tree broadcast (fanout 2)",

@@ -4,7 +4,8 @@
 //
 //   * a PolicyRunner executing one specification-model run of size n under a
 //     chosen engine (inputs generated deterministically from n, see
-//     core/workloads.hpp — traces are input-oblivious anyway),
+//     core/workloads.hpp — traces are input-oblivious for every kernel
+//     except sample-sort, whose routing degrees the fixed seed pins),
 //   * its closed-form predicted cost (Section 4 upper bounds) and the
 //     matching lower bound, both as CostFormula (n, p, σ) -> value,
 //   * the size sweeps its bench and the CI smoke campaign use.
@@ -43,6 +44,13 @@ struct AlgoEntry {
     return validate == nullptr || validate(n);
   }
   bool (*validate)(std::uint64_t n) = nullptr;
+
+  /// Largest sweep parameter the simulator comfortably holds for THIS
+  /// kernel — the footprint bound the campaign parser enforces. Kernels
+  /// whose memory is super-linear in n (stencil2 builds M(n²), stencil1 an
+  /// n x n grid, samplesort a Θ(n^{3/2})-message exchange, matmul a
+  /// Θ(n^{4/3}) replication) override the linear-kernel default downward.
+  std::uint64_t max_sweep_size = std::uint64_t{1} << 22;
 };
 
 class AlgoRegistry {

@@ -1,10 +1,12 @@
 // Deterministic workload generators shared by the registry runners, the
 // bench binaries, and the CLI campaign runner.
 //
-// The algorithms in this repo are network-oblivious: their communication
-// traces do not depend on input *values*, only on sizes. The seeds below
-// therefore pin output values for conformance checks; every trace-derived
-// table is already reproducible by construction.
+// Most algorithms in this repo are network-oblivious in the strong sense:
+// their communication traces do not depend on input *values*, only on
+// sizes, so the fixed seeds below merely pin output values for conformance
+// checks. The exception is sample-sort, whose routing degrees follow the
+// key distribution — there the fixed seed pins the *trace* too, keeping
+// golden replays and cross-engine conformance exact.
 #pragma once
 
 #include <complex>
@@ -48,6 +50,27 @@ inline std::vector<double> random_rod(std::uint64_t n, std::uint64_t seed) {
   std::vector<double> x(n);
   for (auto& v : x) v = rng.unit();
   return x;
+}
+
+/// Small summands for prefix-scan runs (partial sums stay far from 2^64,
+/// so host-side reference sums need no modular reasoning).
+inline std::vector<std::uint64_t> random_addends(std::uint64_t n,
+                                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> x(n);
+  for (auto& v : x) v = rng.below(1024);
+  return x;
+}
+
+/// Keys drawn from a tiny alphabet — the adversarial input for
+/// data-dependent splitter selection: sample-sort's buckets collapse onto
+/// a handful of clusters while correctness must hold regardless.
+inline std::vector<std::uint64_t> duplicate_heavy_keys(
+    std::uint64_t n, std::uint64_t seed, std::uint64_t distinct = 4) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.below(distinct) * 1000 + 7;
+  return keys;
 }
 
 /// The 1-D heat rule used by every stencil1 experiment in the repo.

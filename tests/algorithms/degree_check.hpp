@@ -1,0 +1,72 @@
+// Shared helpers for the kernel property tests: replay an independently
+// derived message pattern through the ReferenceDegreeAccumulator oracle and
+// require the recorded trace to match superstep by superstep, and check the
+// Trace's memoized cost queries against direct recomputation from steps().
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "bsp/cost.hpp"
+#include "bsp/degree_reference.hpp"
+#include "bsp/trace.hpp"
+
+namespace nobl::testing_detail {
+
+/// One expected superstep: its label and the (src, dst, count) messages the
+/// kernel should have sent (order irrelevant — degrees are sums).
+struct ExpectedStep {
+  unsigned label = 0;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+      messages;
+};
+
+/// The trace must consist of exactly `expected`, with every per-fold degree
+/// equal to what the reference accumulator derives from the message lists.
+inline void expect_trace_matches_reference(
+    const Trace& trace, const std::vector<ExpectedStep>& expected) {
+  ASSERT_EQ(trace.supersteps(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    ReferenceDegreeAccumulator acc(trace.log_v());
+    for (const auto& [src, dst, count] : expected[k].messages) {
+      acc.count(src, dst, count);
+    }
+    SuperstepRecord want;
+    want.label = expected[k].label;
+    want.degree.assign(trace.log_v() + 1, 0);
+    acc.finalize_into(want);
+    const SuperstepRecord& got = trace.steps()[k];
+    EXPECT_EQ(got.label, want.label) << "superstep " << k;
+    EXPECT_EQ(got.degree, want.degree) << "superstep " << k;
+    EXPECT_EQ(got.messages, want.messages) << "superstep " << k;
+  }
+}
+
+/// The memoized O(1) queries (S/F/total_F/total_S, and H built from them)
+/// must agree with a direct fold over steps().
+inline void expect_cost_queries_consistent(const Trace& trace) {
+  for (unsigned log_p = 0; log_p <= trace.log_v(); ++log_p) {
+    std::uint64_t direct_f = 0;
+    std::uint64_t direct_s = 0;
+    for (const SuperstepRecord& step : trace.steps()) {
+      if (step.label < log_p) {
+        direct_f += step.degree[log_p];
+        ++direct_s;
+      }
+    }
+    EXPECT_EQ(trace.total_F(log_p), direct_f) << "fold 2^" << log_p;
+    EXPECT_EQ(trace.total_S(log_p), direct_s) << "fold 2^" << log_p;
+    for (const double sigma : {0.0, 1.0, 7.5}) {
+      EXPECT_DOUBLE_EQ(
+          communication_complexity(trace, log_p, sigma),
+          static_cast<double>(direct_f) +
+              sigma * static_cast<double>(direct_s))
+          << "fold 2^" << log_p << " sigma " << sigma;
+    }
+  }
+}
+
+}  // namespace nobl::testing_detail

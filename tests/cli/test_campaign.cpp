@@ -6,6 +6,8 @@
 
 #include <sstream>
 
+#include "util/rng.hpp"
+
 namespace nobl {
 namespace {
 
@@ -76,6 +78,76 @@ TEST(CampaignSpec, BadEngineAndKeyAndFold) {
   expect_parse_error("algorithms = fft\nmax_fold = 3\n", "power of two");
   expect_parse_error("algorithms = fft\nmax_fold = banana\n",
                      "unsigned integer");
+}
+
+TEST(CampaignSpecFuzz, MalformedSweepLinesCarryPositions) {
+  expect_parse_error("algorithms = sort:\n", "empty size");
+  expect_parse_error("algorithms = sort::64\n", "empty size");
+  expect_parse_error("algorithms = sort:64:\n", "empty size");
+  expect_parse_error("algorithms = scan:banana\n", "unsigned integer");
+  // One past UINT64_MAX: must be a parse error, not silent wraparound.
+  expect_parse_error("algorithms = scan:18446744073709551616\n",
+                     "unsigned integer");
+  expect_parse_error("algorithms = scan:0\n", "out of range");
+  // Legal powers of two, but beyond what the simulator should try to
+  // allocate: the parser, not the allocator, must reject them (with line
+  // 1). The cap is per-kernel: stencil2 builds M(n²) and stencil1 an n x n
+  // grid, so their ceilings sit far below the linear kernels'.
+  expect_parse_error("algorithms = scan:134217728\n", "out of range");
+  expect_parse_error("algorithms = scan:134217728\n", "line 1");
+  expect_parse_error("algorithms = stencil2:65536\n", "out of range");
+  expect_parse_error("algorithms = stencil1:65536\n", "out of range");
+  expect_parse_error("algorithms = samplesort:1048576\n", "out of range");
+  expect_parse_error("algorithms = transpose:32\n", "rejects n = 32");
+  expect_parse_error("algorithms = samplesort:96\n", "rejects n = 96");
+}
+
+TEST(CampaignSpecFuzz, EngineEdgeCases) {
+  expect_parse_error("algorithms = fft\nengines = par:0\n", "out of range");
+  expect_parse_error("algorithms = fft\nengines = par:9999\n", "out of range");
+  expect_parse_error("algorithms = fft\nengines = par:x\n",
+                     "unsigned integer");
+  expect_parse_error("algorithms = fft\nengines = seq,\n", "empty engine");
+}
+
+TEST(CampaignSpecFuzz, RandomMutationsNeverCrash) {
+  // Truncations, byte flips, insertions and chunk duplications of a valid
+  // spec must either parse or throw std::invalid_argument with a position —
+  // never crash, hang, or surface any other exception type.
+  const std::string base =
+      "name = fuzz\n"
+      "algorithms = scan:64, samplesort, transpose:64\n"
+      "engines = seq, par:2\n"
+      "sigmas = 0, 1.5\n"
+      "max_fold = 16\n";
+  Xoshiro256 rng(20260727);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = base;
+    const unsigned edits = 1 + static_cast<unsigned>(rng.below(4));
+    for (unsigned e = 0; e < edits && !text.empty(); ++e) {
+      const std::uint64_t kind = rng.below(4);
+      const std::size_t at = rng.below(text.size());
+      if (kind == 0) {
+        text = text.substr(0, at);  // truncate
+      } else if (kind == 1) {
+        text[at] = static_cast<char>(rng.below(256));  // flip
+      } else if (kind == 2) {
+        text.insert(at, 1, static_cast<char>(rng.below(256)));  // insert
+      } else {
+        text += text.substr(at);  // duplicate tail
+      }
+    }
+    try {
+      const CampaignSpec spec = parse_campaign_spec(text);
+      EXPECT_FALSE(spec.sweeps.empty());  // success implies a usable spec
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << "iter " << iter << ": " << e.what();
+    } catch (...) {
+      FAIL() << "iter " << iter << ": non-invalid_argument exception for:\n"
+             << text;
+    }
+  }
 }
 
 TEST(Campaigns, BuiltinsResolve) {

@@ -14,9 +14,11 @@
 // schedule change, and say so in the commit message.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bsp/cost.hpp"
 #include "bsp/trace_io.hpp"
@@ -102,6 +104,28 @@ TEST_P(GoldenTraceTest, ParsedTraceRecertifiesIdentically) {
     EXPECT_EQ(from_archive.gamma, from_live.gamma);
     EXPECT_EQ(from_archive.beta_min, from_live.beta_min);
     EXPECT_EQ(from_archive.beta_at_p, from_live.beta_at_p);
+  }
+}
+
+TEST(GoldenFixtures, CampaignCoversTheFullKernelSpread) {
+  // The golden campaign (and with it both parameterized suites above) must
+  // include the tree/permutation/data-dependent kernels, and every sweep
+  // must have its archived fixture present.
+  const CampaignSpec spec = builtin_campaign("golden");
+  std::vector<std::string> names;
+  for (const AlgoSweep& sweep : spec.sweeps) {
+    names.push_back(sweep.algorithm);
+    for (const std::uint64_t n : sweep.sizes) {
+      std::ifstream in(golden_path(sweep.algorithm, n), std::ios::binary);
+      EXPECT_TRUE(in.good())
+          << "missing fixture for " << sweep.algorithm << " n=" << n
+          << " (regenerate: nobl trace --export tests/golden "
+             "--campaign golden)";
+    }
+  }
+  for (const char* required : {"scan", "transpose", "samplesort"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
   }
 }
 

@@ -21,9 +21,10 @@ namespace {
 
 TEST(Registry, CoversEveryAlgorithmFamily) {
   const auto& entries = AlgoRegistry::instance().entries();
-  EXPECT_GE(entries.size(), 8u);
-  for (const char* name : {"matmul", "matmul-space", "fft", "sort", "bitonic",
-                           "stencil1", "stencil2", "broadcast"}) {
+  EXPECT_GE(entries.size(), 11u);
+  for (const char* name :
+       {"matmul", "matmul-space", "fft", "sort", "bitonic", "stencil1",
+        "stencil2", "scan", "transpose", "samplesort", "broadcast"}) {
     EXPECT_NE(AlgoRegistry::instance().find(name), nullptr) << name;
   }
 }
@@ -38,11 +39,14 @@ TEST(Registry, EntriesAreWellFormed) {
     EXPECT_TRUE(entry.lower_bound != nullptr) << entry.name;
     EXPECT_FALSE(entry.bench_sizes.empty()) << entry.name;
     EXPECT_FALSE(entry.smoke_sizes.empty()) << entry.name;
+    EXPECT_GE(entry.max_sweep_size, 1u) << entry.name;
     for (const auto n : entry.bench_sizes) {
       EXPECT_TRUE(entry.admits(n)) << entry.name << " bench n=" << n;
+      EXPECT_LE(n, entry.max_sweep_size) << entry.name << " bench n=" << n;
     }
     for (const auto n : entry.smoke_sizes) {
       EXPECT_TRUE(entry.admits(n)) << entry.name << " smoke n=" << n;
+      EXPECT_LE(n, entry.max_sweep_size) << entry.name << " smoke n=" << n;
     }
   }
 }
@@ -64,8 +68,16 @@ TEST(Registry, RunnersRejectBadSizes) {
                std::invalid_argument);
   EXPECT_THROW((void)registry.at("fft").runner(100, {}),
                std::invalid_argument);
+  EXPECT_THROW((void)registry.at("scan").runner(3, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.at("transpose").runner(32, {}),
+               std::invalid_argument);  // power of two but not a square
+  EXPECT_THROW((void)registry.at("samplesort").runner(100, {}),
+               std::invalid_argument);
   EXPECT_FALSE(registry.at("matmul").admits(48));
   EXPECT_FALSE(registry.at("stencil2").admits(1));
+  EXPECT_FALSE(registry.at("transpose").admits(32));
+  EXPECT_TRUE(registry.at("transpose").admits(64));
 }
 
 std::string rendered(const Table& table) {

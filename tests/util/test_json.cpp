@@ -10,6 +10,7 @@
 #include <limits>
 #include <sstream>
 
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace nobl {
@@ -128,6 +129,63 @@ TEST(JsonParse, ErrorsNameByteOffset) {
   EXPECT_THROW((void)JsonValue::parse("tru"), std::invalid_argument);
   EXPECT_THROW((void)JsonValue::parse("\"unterminated"),
                std::invalid_argument);
+}
+
+// A small result-like document exercising every construct: nested
+// containers, escapes, signed/fractional/exponent numbers, literals. Ends
+// on '}' with no trailing whitespace, so every strict prefix is incomplete.
+const char kFuzzSeedDoc[] =
+    R"({"schema_version": 1, "campaign": "fu\"zz", "runs": [)"
+    R"({"algorithm": "scan", "n": 64, "cells": [{"p": 2, "sigma": 1.5,)"
+    R"( "h": -3e2, "ok": true}, {"p": 4, "sigma": 0.25, "h": 1e-3,)"
+    R"( "skip": null}]}, {"algorithm": "samplesort", "n": 256,)"
+    R"( "cells": [], "note": "é\n"}]})";
+
+TEST(JsonParseFuzz, EveryTruncationThrowsWithByteOffset) {
+  const std::string doc = kFuzzSeedDoc;
+  EXPECT_NO_THROW((void)JsonValue::parse(doc));
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    try {
+      (void)JsonValue::parse(doc.substr(0, cut));
+      FAIL() << "truncation at byte " << cut << " parsed";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+          << "cut " << cut << ": " << e.what();
+    }
+  }
+}
+
+TEST(JsonParseFuzz, RandomMutationsNeverCrash) {
+  // Byte flips, insertions, truncations and duplications: the parser must
+  // either produce a value or throw std::invalid_argument naming an offset
+  // — no other exception type, no crash.
+  std::string base = kFuzzSeedDoc;
+  Xoshiro256 rng(424242);
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string text = base;
+    const unsigned edits = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned e = 0; e < edits && !text.empty(); ++e) {
+      const std::uint64_t kind = rng.below(4);
+      const std::size_t at = rng.below(text.size());
+      if (kind == 0) {
+        text = text.substr(0, at);
+      } else if (kind == 1) {
+        text[at] = static_cast<char>(rng.below(256));
+      } else if (kind == 2) {
+        text.insert(at, 1, static_cast<char>(rng.below(256)));
+      } else {
+        text += text.substr(at);
+      }
+    }
+    try {
+      (void)JsonValue::parse(text);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+          << "iter " << iter << ": " << e.what();
+    } catch (...) {
+      FAIL() << "iter " << iter << ": non-invalid_argument exception";
+    }
+  }
 }
 
 TEST(TableJson, SchemaVersionedAndEscaped) {
