@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <stdexcept>
 
-#include "bsp/machine.hpp"
+#include "bsp/backend.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
 
@@ -32,20 +32,29 @@ namespace baseline {
 
 namespace detail {
 
-/// `rounds` 0-supersteps on M(p), each a balanced `degree`-relation across
-/// the machine's top bisection.
+/// The flat-round program: `rounds` 0-supersteps, each a balanced
+/// `degree`-relation across the machine's top bisection.
+template <typename Backend>
+void flat_rounds_program(Backend& bk, std::uint64_t rounds,
+                         std::uint64_t degree) {
+  const std::uint64_t p = bk.v();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    bk.superstep(0, [&](auto& vp) {
+      vp.send_dummy(vp.id() ^ (p / 2), degree);
+    });
+  }
+}
+
+/// Baseline traces carry only dummy traffic, so they run on the counting
+/// backend: no machine, no inboxes — just the degree stream.
 inline Trace flat_rounds(std::uint64_t p, std::uint64_t rounds,
                          std::uint64_t degree) {
   if (!is_pow2(p) || p < 2) {
     throw std::invalid_argument("baseline: p must be a power of two >= 2");
   }
-  Machine<std::uint8_t> machine(p);
-  for (std::uint64_t r = 0; r < rounds; ++r) {
-    machine.superstep(0, [&](Vp<std::uint8_t>& vp) {
-      vp.send_dummy(vp.id() ^ (p / 2), degree);
-    });
-  }
-  return machine.trace();
+  CostBackend bk(p);
+  flat_rounds_program(bk, rounds, degree);
+  return bk.trace();
 }
 
 }  // namespace detail

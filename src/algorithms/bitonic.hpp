@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -33,20 +34,21 @@ struct BitonicRun {
   Trace trace;
 };
 
-/// Sort n = |keys| (power of two) keys on M(n) with the bitonic network.
-inline BitonicRun bitonic_sort_oblivious(
-    const std::vector<std::uint64_t>& keys, ExecutionPolicy policy = {}) {
+/// The bitonic network as a program on any Backend with bk.v() == |keys|.
+/// Fully host-mirrored; returns the sorted keys.
+template <typename Backend>
+std::vector<std::uint64_t> bitonic_sort_program(
+    Backend& bk, const std::vector<std::uint64_t>& keys) {
   const std::uint64_t n = keys.size();
-  if (!is_pow2(n)) {
-    throw std::invalid_argument("bitonic_sort: size must be a power of two");
+  if (n != bk.v()) {
+    throw std::invalid_argument("bitonic_sort_program: one key per VP");
   }
-  Machine<std::uint64_t> machine(n, policy);
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
   std::vector<std::uint64_t> values = keys;
 
   if (n == 1) {
-    machine.superstep(0, [](Vp<std::uint64_t>&) {});
-    return BitonicRun{std::move(values), machine.trace()};
+    bk.superstep(0, [](auto&) {});
+    return values;
   }
 
   // Stage (phase, bit): exchange partners across `bit`; ascending iff the
@@ -56,7 +58,7 @@ inline BitonicRun bitonic_sort_oblivious(
       const std::uint64_t mask = std::uint64_t{1} << bit;
       const unsigned label = log_n - 1 - bit;
       std::vector<std::uint64_t> next(values);
-      machine.superstep(label, [&](Vp<std::uint64_t>& vp) {
+      bk.superstep(label, [&](auto& vp) {
         const std::uint64_t partner = vp.id() ^ mask;
         vp.send(partner, values[vp.id()]);
         const bool ascending =
@@ -72,7 +74,19 @@ inline BitonicRun bitonic_sort_oblivious(
       values.swap(next);
     }
   }
-  return BitonicRun{std::move(values), machine.trace()};
+  return values;
+}
+
+/// Sort n = |keys| (power of two) keys on M(n) with the bitonic network.
+inline BitonicRun bitonic_sort_oblivious(
+    const std::vector<std::uint64_t>& keys, ExecutionPolicy policy = {}) {
+  const std::uint64_t n = keys.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("bitonic_sort: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(n, policy);
+  std::vector<std::uint64_t> output = bitonic_sort_program(bk, keys);
+  return BitonicRun{std::move(output), bk.trace()};
 }
 
 /// Closed form for the bitonic network's communication complexity:

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/cost.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
@@ -36,19 +37,18 @@ struct BroadcastRun {
   Trace trace;
 };
 
-namespace broadcast_detail {
-
-/// κ-ary tree broadcast on M(v): in round i the holders (VPs at multiples of
-/// v/κ^i) forward to the κ evenly spaced representatives of their block's
-/// κ sub-blocks. Rounds stop when the spacing reaches 1.
-inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
-                             std::uint64_t value,
-                             ExecutionPolicy policy = {}) {
-  if (!is_pow2(v) || !is_pow2(kappa) || kappa < 2) {
+/// The κ-ary tree broadcast as a program on any Backend: in round i the
+/// holders (VPs at multiples of v/κ^i) forward to the κ evenly spaced
+/// representatives of their block's κ sub-blocks. Rounds stop when the
+/// spacing reaches 1. Returns the per-VP values (host-mirrored).
+template <typename Backend>
+std::vector<std::uint64_t> broadcast_program(Backend& bk, std::uint64_t kappa,
+                                             std::uint64_t value) {
+  const std::uint64_t v = bk.v();
+  if (!is_pow2(kappa) || kappa < 2) {
     throw std::invalid_argument(
-        "broadcast: v and kappa must be powers of two, kappa >= 2");
+        "broadcast_program: kappa must be a power of two >= 2");
   }
-  Machine<std::uint64_t> machine(v, policy);
   std::vector<std::uint64_t> values(v, 0);
   values[0] = value;
   std::vector<bool> holds(v, false);
@@ -63,8 +63,8 @@ inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
     // block of `spacing` VPs is one (round·log κ)-cluster (clamped to legal
     // label range for the final, possibly partial, round).
     const unsigned label =
-        std::min<unsigned>(round * log_kappa, machine.log_v() - 1);
-    machine.superstep(label, [&](Vp<std::uint64_t>& vp) {
+        std::min<unsigned>(round * log_kappa, bk.log_v() - 1);
+    bk.superstep(label, [&](auto& vp) {
       if (!holds[vp.id()]) return;
       for (std::uint64_t child = vp.id() + next_spacing;
            child < vp.id() + spacing; child += next_spacing) {
@@ -76,10 +76,24 @@ inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
       values[holder] = value;
     }
   }
-  if (machine.trace().supersteps() == 0) {
-    machine.superstep(0, [](Vp<std::uint64_t>&) {});  // v = 1: trivial sync
+  if (round == 0) {
+    bk.superstep(0, [](auto&) {});  // v = 1: trivial sync
   }
-  return BroadcastRun{std::move(values), machine.trace()};
+  return values;
+}
+
+namespace broadcast_detail {
+
+inline BroadcastRun run_tree(std::uint64_t v, std::uint64_t kappa,
+                             std::uint64_t value,
+                             ExecutionPolicy policy = {}) {
+  if (!is_pow2(v) || !is_pow2(kappa) || kappa < 2) {
+    throw std::invalid_argument(
+        "broadcast: v and kappa must be powers of two, kappa >= 2");
+  }
+  SimulateBackend<std::uint64_t> bk(v, policy);
+  std::vector<std::uint64_t> values = broadcast_program(bk, kappa, value);
+  return BroadcastRun{std::move(values), bk.trace()};
 }
 
 }  // namespace broadcast_detail

@@ -26,6 +26,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -55,26 +56,28 @@ struct FftRun {
   return out;
 }
 
-/// Compute the DFT of x (|x| a power of two) with the network-oblivious
-/// recursion on M(n).
-inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
-                            bool wiseness_dummies = true,
-                            ExecutionPolicy policy = {}) {
+/// The FFT program on any Backend with bk.v() == |x|: the six-step
+/// recursion, fully host-mirrored (bodies route the complex payloads;
+/// every value is also mirrored on the host so the schedule is identical
+/// under non-delivering backends). Returns X[k] at index k.
+template <typename Backend>
+std::vector<std::complex<double>> fft_program(
+    Backend& bk, const std::vector<std::complex<double>>& x,
+    bool wiseness_dummies = true) {
   using C = std::complex<double>;
   const std::uint64_t n = x.size();
-  if (!is_pow2(n)) {
-    throw std::invalid_argument("fft_oblivious: size must be a power of two");
+  if (n != bk.v()) {
+    throw std::invalid_argument("fft_program: one point per VP required");
   }
-  Machine<C> machine(n, policy);
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
   std::vector<C> values = x;
 
   if (n == 1) {
-    machine.superstep(0, [](Vp<C>&) {});
-    return FftRun{std::move(values), machine.trace()};
+    bk.superstep(0, [](auto&) {});
+    return values;
   }
 
-  auto add_dummies = [&](Vp<C>& vp, std::uint64_t seg) {
+  auto add_dummies = [&](auto& vp, std::uint64_t seg) {
     if (!wiseness_dummies || seg < 2) return;
     if (vp.id() < seg / 2) vp.send_dummy(vp.id() + seg / 2, 1);
   };
@@ -86,7 +89,7 @@ inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
                              auto pre_scale) {
     const unsigned label = log_n - log2_exact(seg);
     std::vector<C> next(n);
-    machine.superstep(label, [&](Vp<C>& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       const std::uint64_t local = vp.id() - base;
       const C value = values[vp.id()] * pre_scale(local);
@@ -104,7 +107,7 @@ inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
   auto butterfly2 = [&]() {
     const unsigned label = log_n - 1;
     std::vector<C> next(n);
-    machine.superstep(label, [&](Vp<C>& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t partner = vp.id() ^ 1;
       vp.send(partner, values[vp.id()]);
       next[vp.id()] = (vp.id() & 1) ? values[partner] - values[vp.id()]
@@ -170,7 +173,22 @@ inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
   };
 
   solve(solve, n);
-  return FftRun{std::move(values), machine.trace()};
+  return values;
+}
+
+/// Compute the DFT of x (|x| a power of two) with the network-oblivious
+/// recursion on M(n).
+inline FftRun fft_oblivious(const std::vector<std::complex<double>>& x,
+                            bool wiseness_dummies = true,
+                            ExecutionPolicy policy = {}) {
+  const std::uint64_t n = x.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::complex<double>> bk(n, policy);
+  std::vector<std::complex<double>> output =
+      fft_program(bk, x, wiseness_dummies);
+  return FftRun{std::move(output), bk.trace()};
 }
 
 /// Inverse DFT via the conjugation identity ifft(X) = conj(fft(conj(X)))/n —

@@ -26,13 +26,22 @@
 // Wiseness: as in the paper, each superstep adds 2^λ dummy messages from VP j
 // to VP j+S/2 (S the active segment size) for the first half-segment, making
 // the algorithm (Θ(1), n)-wise without touching its state.
+//
+// Program form: every VP's holdings are host-mirrored. Superstep bodies are
+// pure readers of that state — they only emit sends — and the host replays
+// the same routing after each barrier (ascending sender, send order: exactly
+// the simulator's delivery order), so the schedule is identical under every
+// backend. Under a delivering backend the product is additionally extracted
+// from the routed payloads themselves, keeping the simulator honest.
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -59,6 +68,15 @@ struct Msg {
   T value{};
 };
 
+/// Output of the matmul program: the product (payload-extracted under a
+/// delivering backend, host-mirrored otherwise) plus the peak number of
+/// matrix entries resident at any VP.
+template <typename T>
+struct ProgramResult {
+  Matrix<T> c;
+  std::size_t peak_vp_entries = 0;
+};
+
 }  // namespace mm_detail
 
 /// Result of a specification-model n-MM run: the product, the communication
@@ -71,24 +89,22 @@ struct MatmulRun {
   std::size_t peak_vp_entries = 0;
 };
 
-/// Multiply two m x m matrices (m a power of two) with the network-oblivious
-/// recursion on M(m²).
-template <typename T>
-MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
-                              bool wiseness_dummies = true,
-                              ExecutionPolicy policy = {}) {
+/// The n-MM program on any Backend with bk.v() == m².
+template <typename T, typename Backend>
+mm_detail::ProgramResult<T> matmul_program(Backend& bk, const Matrix<T>& a,
+                                           const Matrix<T>& b,
+                                           bool wiseness_dummies = true) {
   using E = mm_detail::Entry<T>;
   using M = mm_detail::Msg<T>;
   using mm_detail::Tag;
 
   const std::uint64_t m = a.rows();
-  if (a.cols() != m || b.rows() != m || b.cols() != m || !is_pow2(m)) {
+  if (a.cols() != m || b.rows() != m || b.cols() != m || m * m != bk.v()) {
     throw std::invalid_argument(
-        "matmul_oblivious: matrices must be square with power-of-two side");
+        "matmul_program: matrices must be square with m * m = bk.v()");
   }
   const std::uint64_t n = m * m;  // input size == number of VPs
-  Machine<M> machine(n, policy);
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
   // Deepest level with segments of >= 8 VPs fully split.
   const unsigned max_level = log_n / 3;
   const std::uint64_t tail_seg = n >> (3 * max_level);  // 1, 2 or 4
@@ -97,15 +113,13 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     std::vector<E> a, b, c;
   };
   std::vector<VpState> state(n);
-  // Max over co-active VPs — commutative, so an atomic fetch-max keeps the
-  // audit deterministic under the parallel engine.
-  std::atomic<std::size_t> peak_entries{0};
+  std::size_t peak_entries = 0;
   auto audit = [&](const VpState& st) {
-    const std::size_t held = st.a.size() + st.b.size() + st.c.size();
-    std::size_t seen = peak_entries.load(std::memory_order_relaxed);
-    while (seen < held && !peak_entries.compare_exchange_weak(
-                              seen, held, std::memory_order_relaxed)) {
-    }
+    peak_entries =
+        std::max(peak_entries, st.a.size() + st.b.size() + st.c.size());
+  };
+  auto audit_all = [&]() {
+    for (const VpState& st : state) audit(st);
   };
 
   auto dims_at = [&](unsigned level) { return m >> level; };
@@ -115,11 +129,21 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     return (dims_at(level) * dims_at(level)) / seg_at(level);
   };
 
-  auto add_dummies = [&](Vp<M>& vp, std::uint64_t seg, std::uint64_t count) {
+  auto add_dummies = [&](auto& vp, std::uint64_t seg, std::uint64_t count) {
     if (!wiseness_dummies) return;
     if (seg < 2) return;
     if (vp.id() < seg / 2) vp.send_dummy(vp.id() + seg / 2, count);
   };
+
+  // Initial layout, mirrored before the first superstep: VP i·m + j holds
+  // A[i,j] and B[i,j].
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const auto i = static_cast<std::uint32_t>(r / m);
+    const auto j = static_cast<std::uint32_t>(r % m);
+    state[r].a = {E{i, j, a(i, j)}};
+    state[r].b = {E{i, j, b(i, j)}};
+  }
+  audit_all();
 
   // ---- Distribute phases: level λ splits segments of seg(λ) into eight. ----
   for (unsigned level = 0; level < max_level; ++level) {
@@ -129,28 +153,14 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     const std::uint64_t half = dim / 2;
     const std::uint64_t child_per_vp = per_vp_at(level + 1);
     const unsigned label = 3 * level;
-    machine.superstep(label, [&](Vp<M>& vp) {
-      VpState& st = state[vp.id()];
-      if (level == 0) {
-        // Initial layout: VP i·m + j holds A[i,j] and B[i,j].
-        const auto i = static_cast<std::uint32_t>(vp.id() / m);
-        const auto j = static_cast<std::uint32_t>(vp.id() % m);
-        st.a = {E{i, j, a(i, j)}};
-        st.b = {E{i, j, b(i, j)}};
-      } else {
-        // Ingest the entries sent by the parent distribute phase.
-        st.a.clear();
-        st.b.clear();
-        for (const auto& msg : vp.inbox()) {
-          const E entry{msg.data.i, msg.data.j, msg.data.value};
-          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
-        }
-      }
-      audit(st);
-      const std::uint64_t base = vp.id() & ~(seg - 1);
-      // A[i,j] lives in quadrant (h=i/half, l=j/half) and is needed by
-      // S_{h,k,l} for k = 0,1; B[i,j] in quadrant (l=i/half, k=j/half) is
-      // needed by S_{h,k,l} for h = 0,1. Sub-segment index is h·4 + k·2 + l.
+
+    // A[i,j] lives in quadrant (h=i/half, l=j/half) and is needed by
+    // S_{h,k,l} for k = 0,1; B[i,j] in quadrant (l=i/half, k=j/half) is
+    // needed by S_{h,k,l} for h = 0,1. Sub-segment index is h·4 + k·2 + l.
+    // One routing function serves the superstep body and the host mirror.
+    auto for_each_send = [&](std::uint64_t id, auto&& emit) {
+      const VpState& st = state[id];
+      const std::uint64_t base = id & ~(seg - 1);
       for (const E& e : st.a) {
         const std::uint64_t h = e.i / half;
         const std::uint64_t l = e.j / half;
@@ -158,9 +168,8 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
         const auto j2 = static_cast<std::uint32_t>(e.j % half);
         const std::uint64_t t = std::uint64_t{i2} * half + j2;
         for (std::uint64_t k = 0; k < 2; ++k) {
-          const std::uint64_t dst =
-              base + (h * 4 + k * 2 + l) * sub + t / child_per_vp;
-          vp.send(dst, M{i2, j2, Tag::A, e.value});
+          emit(base + (h * 4 + k * 2 + l) * sub + t / child_per_vp,
+               M{i2, j2, Tag::A, e.value});
         }
       }
       for (const E& e : st.b) {
@@ -170,13 +179,29 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
         const auto j2 = static_cast<std::uint32_t>(e.j % half);
         const std::uint64_t t = std::uint64_t{i2} * half + j2;
         for (std::uint64_t h = 0; h < 2; ++h) {
-          const std::uint64_t dst =
-              base + (h * 4 + k * 2 + l) * sub + t / child_per_vp;
-          vp.send(dst, M{i2, j2, Tag::B, e.value});
+          emit(base + (h * 4 + k * 2 + l) * sub + t / child_per_vp,
+               M{i2, j2, Tag::B, e.value});
         }
       }
+    };
+
+    bk.superstep(label, [&](auto& vp) {
+      for_each_send(vp.id(),
+                    [&](std::uint64_t dst, M msg) { vp.send(dst, msg); });
       add_dummies(vp, seg, std::uint64_t{1} << level);
     });
+
+    // Mirrored delivery in the sync's order (ascending sender, send order):
+    // the level-(λ+1) holdings replace the level-λ ones.
+    std::vector<VpState> next(n);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      for_each_send(r, [&](std::uint64_t dst, M msg) {
+        (msg.tag == Tag::A ? next[dst].a : next[dst].b)
+            .push_back(E{msg.i, msg.j, msg.value});
+      });
+    }
+    state.swap(next);
+    audit_all();
   }
 
   // ---- Base case. ----
@@ -186,31 +211,31 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
   const std::uint64_t base_dim = dims_at(max_level);
   if (tail_seg > 1) {
     const unsigned label = 3 * max_level;  // < log n exactly when tail_seg > 1
-    machine.superstep(label, [&](Vp<M>& vp) {
-      VpState& st = state[vp.id()];
-      if (max_level > 0) {
-        st.a.clear();
-        st.b.clear();
-        for (const auto& msg : vp.inbox()) {
-          const E entry{msg.data.i, msg.data.j, msg.data.value};
-          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
-        }
-      } else {
-        const auto i = static_cast<std::uint32_t>(vp.id() / m);
-        const auto j = static_cast<std::uint32_t>(vp.id() % m);
-        st.a = {E{i, j, a(i, j)}};
-        st.b = {E{i, j, b(i, j)}};
-      }
-      audit(st);
+    bk.superstep(label, [&](auto& vp) {
+      const VpState& st = state[vp.id()];
       const std::uint64_t leader = vp.id() & ~(tail_seg - 1);
       if (vp.id() != leader) {
         for (const E& e : st.a) vp.send(leader, M{e.i, e.j, Tag::A, e.value});
         for (const E& e : st.b) vp.send(leader, M{e.i, e.j, Tag::B, e.value});
-        st.a.clear();
-        st.b.clear();
       }
       add_dummies(vp, tail_seg, std::uint64_t{1} << max_level);
     });
+    // Mirror: leaders append the gathered entries (ascending sender, A run
+    // then B run per sender — the tag-dispatched ingest order); senders
+    // hand their holdings off.
+    for (std::uint64_t r = 0; r < n; ++r) {
+      const std::uint64_t leader = r & ~(tail_seg - 1);
+      if (r == leader) continue;
+      VpState& st = state[r];
+      VpState& ld = state[leader];
+      for (const E& e : st.a) ld.a.push_back(e);
+      for (const E& e : st.b) ld.b.push_back(e);
+      st.a.clear();
+      st.b.clear();
+    }
+    for (std::uint64_t leader = 0; leader < n; leader += tail_seg) {
+      audit(state[leader]);
+    }
   }
 
   // Local multiply at the leader, then start the combine cascade. The
@@ -239,133 +264,168 @@ MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
     st.b.clear();
   };
 
-  // Ingest the child combine traffic at the owner of a level-(λ+1) product:
-  // entries arrive addressed in the child's product coordinates, exactly two
-  // partial products per coordinate (l = 0 and l = 1), summed on arrival.
-  auto ingest_products = [&](VpState& st, Vp<M>& vp, unsigned child_level) {
+  // Host mirror of the child combine traffic at the owner of a level-(λ+1)
+  // product: entries arrive addressed in the child's product coordinates,
+  // exactly two partial products per coordinate (l = 0 and l = 1), summed in
+  // arrival order.
+  struct Pending {
+    std::uint64_t dst;
+    M msg;
+  };
+  auto deliver_products = [&](const std::vector<Pending>& pending,
+                              unsigned child_level) {
     const std::uint64_t child_dim = dims_at(child_level);
     const std::uint64_t child_per_vp = per_vp_at(child_level);
     const std::uint64_t child_seg = seg_at(child_level);
-    const std::uint64_t offset = vp.id() & (child_seg - 1);
-    const std::uint64_t lo = offset * child_per_vp;
-    st.c.assign(child_per_vp, E{});
-    std::vector<bool> seen(child_per_vp, false);
-    for (const auto& msg : vp.inbox()) {
-      if (msg.data.tag != Tag::Product) continue;
+    for (VpState& st : state) {
+      st.c.assign(child_per_vp, E{});
+    }
+    std::vector<std::vector<bool>> seen(n,
+                                        std::vector<bool>(child_per_vp, false));
+    for (const Pending& p : pending) {
+      VpState& st = state[p.dst];
+      const std::uint64_t offset = p.dst & (child_seg - 1);
+      const std::uint64_t lo = offset * child_per_vp;
       const std::uint64_t lin =
-          std::uint64_t{msg.data.i} * child_dim + msg.data.j;
+          std::uint64_t{p.msg.i} * child_dim + p.msg.j;
       const std::uint64_t idx = lin - lo;
-      if (seen[idx]) {
-        st.c[idx].value = T(st.c[idx].value + msg.data.value);
+      if (seen[p.dst][idx]) {
+        st.c[idx].value = T(st.c[idx].value + p.msg.value);
       } else {
-        st.c[idx] = E{msg.data.i, msg.data.j, msg.data.value};
-        seen[idx] = true;
+        st.c[idx] = E{p.msg.i, p.msg.j, p.msg.value};
+        seen[p.dst][idx] = true;
       }
     }
+    audit_all();
   };
 
+  Matrix<T> c(m, m);
+
   // Combine cascade: one superstep per level λ = max_level-1 .. 0, plus a
-  // final label-0 ingest superstep. In the first combine superstep the base
-  // subproblems are solved locally before sending.
+  // final label-0 ingest superstep. The base subproblems are solved on the
+  // host mirror before the first combine superstep.
   if (max_level == 0) {
     // Degenerate machine (m <= 2 with tail_seg <= 4): leader solves the
     // whole product and redistributes it to the owners.
-    machine.superstep(0, [&](Vp<M>& vp) {
-      VpState& st = state[vp.id()];
-      if (tail_seg == 1) {
-        const auto i = static_cast<std::uint32_t>(vp.id() / m);
-        const auto j = static_cast<std::uint32_t>(vp.id() % m);
-        st.a = {E{i, j, a(i, j)}};
-        st.b = {E{i, j, b(i, j)}};
-      } else if (vp.id() == 0) {
-        for (const auto& msg : vp.inbox()) {
-          const E entry{msg.data.i, msg.data.j, msg.data.value};
-          (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
-        }
-      }
+    audit(state[0]);
+    local_multiply(state[0]);
+    bk.superstep(0, [&](auto& vp) {
       if (vp.id() == 0) {
-        audit(st);
-        local_multiply(st);
-        for (const E& e : st.c) {
-          vp.send(product_owner(0, 0, e.i, e.j), M{e.i, e.j, Tag::Product,
-                                                   e.value});
+        for (const E& e : state[0].c) {
+          vp.send(product_owner(0, 0, e.i, e.j),
+                  M{e.i, e.j, Tag::Product, e.value});
         }
-        st.c.clear();
       }
     });
+    if constexpr (Backend::delivers) {
+      for (std::uint64_t r = 0; r < n; ++r) {
+        for (const auto& msg : bk.inbox(r)) {
+          if (msg.data.tag != Tag::Product) continue;
+          c(msg.data.i, msg.data.j) = msg.data.value;
+        }
+      }
+    } else {
+      for (const E& e : state[0].c) c(e.i, e.j) = e.value;
+    }
+    state[0].c.clear();
+    bk.superstep(0, [](auto&) {});
   } else {
+    // Solve the base subproblems locally (leaders when gathered, every VP
+    // when tail_seg == 1), mirroring the historical in-body multiply.
+    if (tail_seg == 1) {
+      for (VpState& st : state) local_multiply(st);
+    } else {
+      for (std::uint64_t leader = 0; leader < n; leader += tail_seg) {
+        local_multiply(state[leader]);
+      }
+    }
+    audit_all();
+
     for (unsigned level = max_level; level-- > 0;) {
       const std::uint64_t seg = seg_at(level);
       const std::uint64_t sub = seg / 8;
       const std::uint64_t dim = dims_at(level);
       const std::uint64_t half = dim / 2;
       const unsigned label = 3 * level;
-      const bool first_combine = (level + 1 == max_level);
-      machine.superstep(label, [&](Vp<M>& vp) {
-        VpState& st = state[vp.id()];
-        if (first_combine) {
-          // Ingest pending distribute/gather traffic and solve locally.
-          if (tail_seg == 1) {
-            st.a.clear();
-            st.b.clear();
-            for (const auto& msg : vp.inbox()) {
-              const E entry{msg.data.i, msg.data.j, msg.data.value};
-              (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
-            }
-            audit(st);
-            local_multiply(st);
-          } else {
-            const std::uint64_t leader = vp.id() & ~(tail_seg - 1);
-            if (vp.id() == leader) {
-              for (const auto& msg : vp.inbox()) {
-                const E entry{msg.data.i, msg.data.j, msg.data.value};
-                (msg.data.tag == Tag::A ? st.a : st.b).push_back(entry);
-              }
-              audit(st);
-              local_multiply(st);
-            } else {
-              st.c.clear();
-            }
-          }
-        } else {
-          ingest_products(st, vp, level + 1);
-        }
-        audit(st);
-        // Send every held product entry to the owner of the parent entry.
-        const std::uint64_t base = vp.id() & ~(seg - 1);
-        const std::uint64_t sub_index = (vp.id() - base) / sub;
+      // Send every held product entry to the owner of the parent entry.
+      auto for_each_send = [&](std::uint64_t id, auto&& emit) {
+        const VpState& st = state[id];
+        const std::uint64_t base = id & ~(seg - 1);
+        const std::uint64_t sub_index = (id - base) / sub;
         const std::uint64_t h = sub_index >> 2;
         const std::uint64_t k = (sub_index >> 1) & 1;
         for (const E& e : st.c) {
           const std::uint64_t pi = e.i + h * half;
           const std::uint64_t pj = e.j + k * half;
-          vp.send(product_owner(level, base, pi, pj),
-                  M{static_cast<std::uint32_t>(pi),
-                    static_cast<std::uint32_t>(pj), Tag::Product, e.value});
+          emit(product_owner(level, base, pi, pj),
+               M{static_cast<std::uint32_t>(pi),
+                 static_cast<std::uint32_t>(pj), Tag::Product, e.value});
         }
-        st.c.clear();
+      };
+      bk.superstep(label, [&](auto& vp) {
+        for_each_send(vp.id(),
+                      [&](std::uint64_t dst, M msg) { vp.send(dst, msg); });
         add_dummies(vp, seg, std::uint64_t{1} << level);
       });
+      auto collect_pending = [&]() {
+        std::vector<Pending> pending;
+        for (std::uint64_t r = 0; r < n; ++r) {
+          for_each_send(r, [&](std::uint64_t dst, M msg) {
+            pending.push_back({dst, msg});
+          });
+        }
+        return pending;
+      };
+      if (level == 0) {
+        // Final ingest: owners of C[i,j] sum the (at most two) partial
+        // products — from the routed payloads when the backend delivers,
+        // from the mirror otherwise.
+        if constexpr (Backend::delivers) {
+          bk.superstep(0, [&](auto& vp) {
+            T sum{};
+            bool any = false;
+            std::uint32_t ci = 0, cj = 0;
+            for (const auto& msg : vp.inbox()) {
+              if (msg.data.tag != Tag::Product) continue;
+              sum = any ? T(sum + msg.data.value) : msg.data.value;
+              ci = msg.data.i;
+              cj = msg.data.j;
+              any = true;
+            }
+            if (any) c(ci, cj) = sum;
+          });
+        } else {
+          deliver_products(collect_pending(), level);
+          for (const VpState& st : state) {
+            for (const E& e : st.c) c(e.i, e.j) = e.value;
+          }
+          bk.superstep(0, [](auto&) {});
+        }
+      } else {
+        deliver_products(collect_pending(), level);  // owners live at `level`
+      }
     }
   }
 
-  // Final ingest: owners of C[i,j] sum the (at most two) partial products.
-  Matrix<T> c(m, m);
-  machine.superstep(0, [&](Vp<M>& vp) {
-    T sum{};
-    bool any = false;
-    std::uint32_t ci = 0, cj = 0;
-    for (const auto& msg : vp.inbox()) {
-      if (msg.data.tag != Tag::Product) continue;
-      sum = any ? T(sum + msg.data.value) : msg.data.value;
-      ci = msg.data.i;
-      cj = msg.data.j;
-      any = true;
-    }
-    if (any) c(ci, cj) = sum;
-  });
+  return mm_detail::ProgramResult<T>{std::move(c), peak_entries};
+}
 
-  return MatmulRun<T>{std::move(c), machine.trace(), peak_entries.load()};
+/// Multiply two m x m matrices (m a power of two) with the network-oblivious
+/// recursion on M(m²).
+template <typename T>
+MatmulRun<T> matmul_oblivious(const Matrix<T>& a, const Matrix<T>& b,
+                              bool wiseness_dummies = true,
+                              ExecutionPolicy policy = {}) {
+  const std::uint64_t m = a.rows();
+  if (a.cols() != m || b.rows() != m || b.cols() != m || !is_pow2(m)) {
+    throw std::invalid_argument(
+        "matmul_oblivious: matrices must be square with power-of-two side");
+  }
+  SimulateBackend<mm_detail::Msg<T>> bk(m * m, policy);
+  mm_detail::ProgramResult<T> result =
+      matmul_program(bk, a, b, wiseness_dummies);
+  return MatmulRun<T>{std::move(result.c), bk.trace(),
+                      result.peak_vp_entries};
 }
 
 }  // namespace nobl

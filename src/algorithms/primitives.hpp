@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "util/bits.hpp"
 
@@ -37,8 +38,8 @@ inline void require_segment(std::uint64_t v, std::uint64_t seg) {
 /// Reduce with `op` independently within every aligned segment of `seg` VPs;
 /// afterwards values[base] of each segment holds the segment reduction.
 /// Tree upsweep: log seg supersteps, degree 1 each.
-template <typename T, typename Op>
-void reduce_segments(Machine<T>& machine, std::span<T> values,
+template <typename Backend, typename T, typename Op>
+void reduce_segments(Backend& machine, std::span<T> values,
                      std::uint64_t seg, Op op) {
   const std::uint64_t v = machine.v();
   detail::require_segment(v, seg);
@@ -51,7 +52,7 @@ void reduce_segments(Machine<T>& machine, std::span<T> values,
   for (unsigned t = 0; t < log_seg; ++t) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_v - (t + 1);
-    machine.superstep(label, [&](Vp<T>& vp) {
+    machine.superstep(label, [&](auto& vp) {
       const std::uint64_t r = vp.id();
       if ((r & (2 * block - 1)) == block) {  // right-block leader
         vp.send(r - block, values[r]);
@@ -70,8 +71,8 @@ void reduce_segments(Machine<T>& machine, std::span<T> values,
 /// Exclusive prefix sums (Blelloch scan) with `op` and identity `id`,
 /// independently within every aligned segment of `seg` VPs. 2·log seg
 /// supersteps of degree <= 2.
-template <typename T, typename Op>
-void exclusive_scan_segments(Machine<T>& machine, std::span<T> values,
+template <typename Backend, typename T, typename Op>
+void exclusive_scan_segments(Backend& machine, std::span<T> values,
                              std::uint64_t seg, Op op, T id) {
   const std::uint64_t v = machine.v();
   detail::require_segment(v, seg);
@@ -88,7 +89,7 @@ void exclusive_scan_segments(Machine<T>& machine, std::span<T> values,
   for (unsigned t = 0; t < log_seg; ++t) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_v - (t + 1);
-    machine.superstep(label, [&](Vp<T>& vp) {
+    machine.superstep(label, [&](auto& vp) {
       const std::uint64_t r = vp.id();
       if ((r & (2 * block - 1)) == block) vp.send(r - block, totals[t][r]);
     });
@@ -104,7 +105,7 @@ void exclusive_scan_segments(Machine<T>& machine, std::span<T> values,
   for (unsigned t = log_seg; t-- > 0;) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_v - (t + 1);
-    machine.superstep(label, [&](Vp<T>& vp) {
+    machine.superstep(label, [&](auto& vp) {
       const std::uint64_t r = vp.id();
       if ((r & (2 * block - 1)) == 0) {
         vp.send(r + block, op(prefix[r], totals[t][r]));
@@ -119,8 +120,8 @@ void exclusive_scan_segments(Machine<T>& machine, std::span<T> values,
 
 /// Apply an arbitrary permutation in a single 0-superstep: VP r sends its
 /// value to perm(r). perm must be a bijection on [0, v).
-template <typename T, typename Perm>
-void permute(Machine<T>& machine, std::span<T> values, Perm perm) {
+template <typename Backend, typename T, typename Perm>
+void permute(Backend& machine, std::span<T> values, Perm perm) {
   const std::uint64_t v = machine.v();
   if (values.size() != v) {
     throw std::invalid_argument("permute: one value per VP required");
@@ -135,7 +136,7 @@ void permute(Machine<T>& machine, std::span<T> values, Perm perm) {
     hit[dst] = true;
   }
   std::vector<T> next(v);
-  machine.superstep(0, [&](Vp<T>& vp) {
+  machine.superstep(0, [&](auto& vp) {
     const std::uint64_t dst = perm(vp.id());
     vp.send(dst, values[vp.id()]);
     next[dst] = values[vp.id()];
@@ -146,8 +147,8 @@ void permute(Machine<T>& machine, std::span<T> values, Perm perm) {
 /// r x s matrix transposition of v = r·s values held one per VP in row-major
 /// order: value at VP (i·s + j) moves to VP (j·r + i). Used by the FFT
 /// (Section 4.2) and Columnsort phase 2.
-template <typename T>
-void transpose(Machine<T>& machine, std::span<T> values, std::uint64_t rows,
+template <typename Backend, typename T>
+void transpose(Backend& machine, std::span<T> values, std::uint64_t rows,
                std::uint64_t cols) {
   if (rows * cols != machine.v()) {
     throw std::invalid_argument("transpose: shape mismatch");
@@ -161,12 +162,121 @@ void transpose(Machine<T>& machine, std::span<T> values, std::uint64_t rows,
 
 /// Cyclic shift by `offset`: value at VP r moves to VP (r + offset) mod v
 /// (Columnsort phases 6 and 8).
-template <typename T>
-void cyclic_shift(Machine<T>& machine, std::span<T> values,
+template <typename Backend, typename T>
+void cyclic_shift(Backend& machine, std::span<T> values,
                   std::uint64_t offset) {
   const std::uint64_t v = machine.v();
   permute(machine, values,
           [v, offset](std::uint64_t r) { return (r + offset) % v; });
+}
+
+// ---------------------------------------------------------------------------
+// Registered primitive kernels. The three programs below are the primitives
+// promoted to first-class AlgoRegistry entries: each has an exact closed-form
+// communication complexity at every fold (predict::reduce / gather / shift),
+// which makes them the calibration kernels of the backend sweeps — any
+// backend or accounting drift shows up as a ratio != 1.
+// ---------------------------------------------------------------------------
+
+struct ReduceRun {
+  std::uint64_t total = 0;  ///< the full-machine sum, resident at VP 0
+  Trace trace;
+};
+
+struct GatherRun {
+  std::vector<std::uint64_t> output;  ///< the gathered values, in VP order
+  Trace trace;
+};
+
+struct ShiftRun {
+  std::vector<std::uint64_t> output;  ///< values after the v/2 cyclic shift
+  Trace trace;
+};
+
+/// Tree reduction of the whole machine (the upsweep half of scan):
+/// H = log p · (1 + σ), exact at every fold. Returns the total.
+template <typename Backend>
+std::uint64_t reduce_program(Backend& bk,
+                             const std::vector<std::uint64_t>& values) {
+  if (values.size() != bk.v()) {
+    throw std::invalid_argument("reduce_program: one value per VP required");
+  }
+  if (bk.v() == 1) {
+    bk.superstep(0, [](auto&) {});
+    return values[0];
+  }
+  std::vector<std::uint64_t> work = values;
+  reduce_segments(bk, std::span<std::uint64_t>(work), bk.v(),
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return work[0];
+}
+
+/// Flat gather: every VP ships its value to VP 0 in one 0-superstep —
+/// the maximally unbalanced pattern, H = n·(1 − 1/p) + σ exact (the
+/// counterpoint motivating §4.5's trees). Returns the gathered values.
+template <typename Backend>
+std::vector<std::uint64_t> gather_program(
+    Backend& bk, const std::vector<std::uint64_t>& values) {
+  if (values.size() != bk.v()) {
+    throw std::invalid_argument("gather_program: one value per VP required");
+  }
+  bk.superstep(0, [&](auto& vp) {
+    if (vp.id() != 0) vp.send(0, values[vp.id()]);
+  });
+  return values;
+}
+
+/// Cyclic shift by v/2: the maximally balanced all-cross permutation — every
+/// value changes processor at every fold, H = n/p + σ exact. Returns the
+/// shifted values.
+template <typename Backend>
+std::vector<std::uint64_t> shift_program(
+    Backend& bk, const std::vector<std::uint64_t>& values) {
+  if (values.size() != bk.v()) {
+    throw std::invalid_argument("shift_program: one value per VP required");
+  }
+  if (bk.v() == 1) {
+    bk.superstep(0, [](auto&) {});
+    return values;
+  }
+  std::vector<std::uint64_t> work = values;
+  cyclic_shift(bk, std::span<std::uint64_t>(work), bk.v() / 2);
+  return work;
+}
+
+/// Sum n = |values| (power of two) values on M(n) by tree reduction.
+inline ReduceRun reduce_oblivious(const std::vector<std::uint64_t>& values,
+                                  ExecutionPolicy policy = {}) {
+  if (!is_pow2(values.size())) {
+    throw std::invalid_argument(
+        "reduce_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(values.size(), policy);
+  const std::uint64_t total = reduce_program(bk, values);
+  return ReduceRun{total, bk.trace()};
+}
+
+/// Gather n = |values| (power of two) values at VP 0 on M(n).
+inline GatherRun gather_oblivious(const std::vector<std::uint64_t>& values,
+                                  ExecutionPolicy policy = {}) {
+  if (!is_pow2(values.size())) {
+    throw std::invalid_argument(
+        "gather_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(values.size(), policy);
+  std::vector<std::uint64_t> output = gather_program(bk, values);
+  return GatherRun{std::move(output), bk.trace()};
+}
+
+/// Cyclically shift n = |values| (power of two) values by n/2 on M(n).
+inline ShiftRun shift_oblivious(const std::vector<std::uint64_t>& values,
+                                ExecutionPolicy policy = {}) {
+  if (!is_pow2(values.size())) {
+    throw std::invalid_argument("shift_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(values.size(), policy);
+  std::vector<std::uint64_t> output = shift_program(bk, values);
+  return ShiftRun{std::move(output), bk.trace()};
 }
 
 }  // namespace nobl

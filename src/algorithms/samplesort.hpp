@@ -38,6 +38,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -54,21 +55,23 @@ struct SampleSortRun {
   return std::uint64_t{1} << (log2_exact(n) / 2);
 }
 
-/// Sort n = |keys| (power of two) keys on M(n) by sample-sort.
-inline SampleSortRun samplesort_oblivious(
-    const std::vector<std::uint64_t>& keys, ExecutionPolicy policy = {}) {
+/// The sample-sort program on any Backend with bk.v() == |keys|. The
+/// schedule is fully host-mirrored — including the data-dependent routing
+/// phases, whose destinations are computed from host key state — so every
+/// backend sees the identical superstep/send sequence. Returns the sorted
+/// keys.
+template <typename Backend>
+std::vector<std::uint64_t> samplesort_program(
+    Backend& bk, const std::vector<std::uint64_t>& keys) {
   const std::uint64_t n = keys.size();
-  if (!is_pow2(n)) {
-    throw std::invalid_argument(
-        "samplesort_oblivious: size must be a power of two");
+  if (n != bk.v()) {
+    throw std::invalid_argument("samplesort_program: one key per VP required");
   }
-  Machine<std::uint64_t> machine(n, policy);
-  using VpT = Vp<std::uint64_t>;
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
 
   if (n == 1) {
-    machine.superstep(0, [](VpT&) {});
-    return SampleSortRun{keys, machine.trace()};
+    bk.superstep(0, [](auto&) {});
+    return keys;
   }
 
   const std::uint64_t s = samplesort_buckets(n);
@@ -81,7 +84,7 @@ inline SampleSortRun samplesort_oblivious(
 
   // Phase 1: regular samples (one per bucket cluster) gather into [0, s).
   std::vector<std::uint64_t> samples(s);
-  machine.superstep(0, [&](VpT& vp) {
+  bk.superstep(0, [&](auto& vp) {
     if (vp.id() % c == 0) vp.send(vp.id() / c, keys[vp.id()]);
   });
   for (std::uint64_t k = 0; k < s; ++k) samples[k] = keys[k * c];
@@ -91,7 +94,7 @@ inline SampleSortRun samplesort_oblivious(
     for (unsigned bit = phase + 1; bit-- > 0;) {
       const std::uint64_t mask = std::uint64_t{1} << bit;
       const unsigned label = log_n - 1 - bit;
-      machine.superstep_range(label, 0, s, [&](VpT& vp) {
+      bk.superstep_range(label, 0, s, [&](auto& vp) {
         vp.send(vp.id() ^ mask, samples[vp.id()]);
       });
       std::vector<std::uint64_t> next(samples);
@@ -112,8 +115,8 @@ inline SampleSortRun samplesort_oblivious(
   // Phase 3: sorted samples 1..s-1 (the splitters) gather at VP 0.
   std::vector<std::uint64_t> splitters(samples.begin() + 1, samples.end());
   if (s >= 2) {
-    machine.superstep_range(0, 1, s,
-                            [&](VpT& vp) { vp.send(0, samples[vp.id()]); });
+    bk.superstep_range(0, 1, s,
+                       [&](auto& vp) { vp.send(0, samples[vp.id()]); });
   }
 
   // Phase 4: binary-tree broadcast of the s-1 splitters to every VP, one
@@ -122,7 +125,7 @@ inline SampleSortRun samplesort_oblivious(
     for (unsigned round = 0; round < log_n; ++round) {
       const std::uint64_t spacing = n >> round;
       const std::uint64_t child = spacing / 2;
-      machine.superstep(round, [&](VpT& vp) {
+      bk.superstep(round, [&](auto& vp) {
         if (vp.id() % spacing != 0) return;
         for (const std::uint64_t w : splitters) vp.send(vp.id() + child, w);
       });
@@ -141,13 +144,13 @@ inline SampleSortRun samplesort_oblivious(
     route_dst[r] = b * c + r % c;
   }
   std::vector<std::vector<std::uint64_t>> held(n);
-  machine.superstep(
-      0, [&](VpT& vp) { vp.send(route_dst[vp.id()], keys[vp.id()]); });
+  bk.superstep(
+      0, [&](auto& vp) { vp.send(route_dst[vp.id()], keys[vp.id()]); });
   for (std::uint64_t r = 0; r < n; ++r) held[route_dst[r]].push_back(keys[r]);
 
   // Phase 6: all-to-all inside every bucket — each member replays its held
   // keys to the other c-1 members, after which everyone knows the bucket.
-  machine.superstep(log_s, [&](VpT& vp) {
+  bk.superstep(log_s, [&](auto& vp) {
     const std::uint64_t base = vp.id() & ~(c - 1);
     for (const std::uint64_t key : held[vp.id()]) {
       for (std::uint64_t o = base; o < base + c; ++o) {
@@ -190,7 +193,7 @@ inline SampleSortRun samplesort_oblivious(
     for (unsigned t = 0; t < log_s; ++t) {
       const std::uint64_t block = std::uint64_t{1} << t;
       const unsigned label = log_s - (t + 1);
-      machine.superstep(label, [&](VpT& vp) {
+      bk.superstep(label, [&](auto& vp) {
         if (vp.id() % c != 0) return;
         const std::uint64_t k = vp.id() / c;
         if ((k & (2 * block - 1)) == block) {
@@ -205,7 +208,7 @@ inline SampleSortRun samplesort_oblivious(
     for (unsigned t = log_s; t-- > 0;) {
       const std::uint64_t block = std::uint64_t{1} << t;
       const unsigned label = log_s - (t + 1);
-      machine.superstep(label, [&](VpT& vp) {
+      bk.superstep(label, [&](auto& vp) {
         if (vp.id() % c != 0) return;
         const std::uint64_t k = vp.id() / c;
         if ((k & (2 * block - 1)) == 0) {
@@ -220,7 +223,7 @@ inline SampleSortRun samplesort_oblivious(
 
   // Phase 8: every key moves to its final rank.
   std::vector<std::uint64_t> output(n);
-  machine.superstep(0, [&](VpT& vp) {
+  bk.superstep(0, [&](auto& vp) {
     const std::uint64_t b = vp.id() / c;
     for (std::size_t i = 0; i < held[vp.id()].size(); ++i) {
       vp.send(offset[b] + rank[vp.id()][i], held[vp.id()][i]);
@@ -233,7 +236,20 @@ inline SampleSortRun samplesort_oblivious(
     }
   }
 
-  return SampleSortRun{std::move(output), machine.trace()};
+  return output;
+}
+
+/// Sort n = |keys| (power of two) keys on M(n) by sample-sort.
+inline SampleSortRun samplesort_oblivious(
+    const std::vector<std::uint64_t>& keys, ExecutionPolicy policy = {}) {
+  const std::uint64_t n = keys.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument(
+        "samplesort_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(n, policy);
+  std::vector<std::uint64_t> output = samplesort_program(bk, keys);
+  return SampleSortRun{std::move(output), bk.trace()};
 }
 
 }  // namespace nobl

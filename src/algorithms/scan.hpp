@@ -30,6 +30,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -41,20 +42,21 @@ struct ScanRun {
   Trace trace;
 };
 
-/// Inclusive prefix sums of n = |values| (power of two) values on M(n).
-inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
-                              ExecutionPolicy policy = {}) {
+/// The scan program: inclusive prefix sums of n = bk.v() = |values| values,
+/// emitted onto any Backend (the schedule is fully host-mirrored, so every
+/// backend sees the identical superstep/send sequence). Returns the output.
+template <typename Backend>
+std::vector<std::uint64_t> scan_program(
+    Backend& bk, const std::vector<std::uint64_t>& values) {
   const std::uint64_t n = values.size();
-  if (!is_pow2(n)) {
-    throw std::invalid_argument("scan_oblivious: size must be a power of two");
+  if (n != bk.v()) {
+    throw std::invalid_argument("scan_program: one value per VP required");
   }
-  Machine<std::uint64_t> machine(n, policy);
-  using VpT = Vp<std::uint64_t>;
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
 
   if (n == 1) {
-    machine.superstep(0, [](VpT&) {});
-    return ScanRun{values, machine.trace()};
+    bk.superstep(0, [](auto&) {});
+    return values;
   }
 
   // Upsweep. totals[t][b] = sum of block b of size 2^t, stored compacted
@@ -67,7 +69,7 @@ inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
   for (unsigned t = 0; t < log_n; ++t) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_n - (t + 1);
-    machine.superstep(label, [&](VpT& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t r = vp.id();
       if ((r & (2 * block - 1)) == block) vp.send(r - block, totals[t][r >> t]);
     });
@@ -84,7 +86,7 @@ inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
   for (unsigned t = log_n; t-- > 0;) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_n - (t + 1);
-    machine.superstep(label, [&](VpT& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t r = vp.id();
       if ((r & (2 * block - 1)) == 0) {
         vp.send(r + block, prefix[r >> (t + 1)] + totals[t][r >> t]);
@@ -100,7 +102,19 @@ inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
 
   std::vector<std::uint64_t> output(n);
   for (std::uint64_t r = 0; r < n; ++r) output[r] = prefix[r] + values[r];
-  return ScanRun{std::move(output), machine.trace()};
+  return output;
+}
+
+/// Inclusive prefix sums of n = |values| (power of two) values on M(n).
+inline ScanRun scan_oblivious(const std::vector<std::uint64_t>& values,
+                              ExecutionPolicy policy = {}) {
+  const std::uint64_t n = values.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("scan_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(n, policy);
+  std::vector<std::uint64_t> output = scan_program(bk, values);
+  return ScanRun{std::move(output), bk.trace()};
 }
 
 }  // namespace nobl

@@ -35,6 +35,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -46,25 +47,25 @@ struct SortRun {
   Trace trace;
 };
 
-/// Sort n = |keys| (power of two) 62-bit keys on M(n).
-inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
-                              bool wiseness_dummies = true,
-                              ExecutionPolicy policy = {}) {
+/// The recursive Columnsort program on any Backend with bk.v() == |keys|.
+/// Fully host-mirrored; returns the sorted keys.
+template <typename Backend>
+std::vector<std::uint64_t> sort_program(Backend& bk,
+                                        const std::vector<std::uint64_t>& keys,
+                                        bool wiseness_dummies = true) {
   const std::uint64_t n = keys.size();
-  if (!is_pow2(n)) {
-    throw std::invalid_argument("sort_oblivious: size must be a power of two");
+  if (n != bk.v()) {
+    throw std::invalid_argument("sort_program: one key per VP required");
   }
-  Machine<std::uint64_t> machine(n, policy);
-  using VpT = Vp<std::uint64_t>;
-  const unsigned log_n = machine.log_v();
+  const unsigned log_n = bk.log_v();
   std::vector<std::uint64_t> values = keys;
 
   if (n == 1) {
-    machine.superstep(0, [](VpT&) {});
-    return SortRun{std::move(values), machine.trace()};
+    bk.superstep(0, [](auto&) {});
+    return values;
   }
 
-  auto add_dummies = [&](VpT& vp, std::uint64_t seg) {
+  auto add_dummies = [&](auto& vp, std::uint64_t seg) {
     if (!wiseness_dummies || seg < 2) return;
     if (vp.id() < seg / 2) vp.send_dummy(vp.id() + seg / 2, 1);
   };
@@ -73,7 +74,7 @@ inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
   auto segment_permute = [&](std::uint64_t seg, auto local_perm) {
     const unsigned label = log_n - log2_exact(seg);
     std::vector<std::uint64_t> next(n);
-    machine.superstep(label, [&](VpT& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       const std::uint64_t dst = base + local_perm(vp.id() - base);
       vp.send(dst, values[vp.id()]);
@@ -89,7 +90,7 @@ inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
   // bodies must not mutate state their co-active siblings read.
   auto sort_base = [&](std::uint64_t seg) {
     const unsigned label = log_n - log2_exact(seg);
-    machine.superstep(label, [&](VpT& vp) {
+    bk.superstep(label, [&](auto& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       for (std::uint64_t o = 0; o < seg; ++o) {
         if (base + o != vp.id()) vp.send(base + o, values[vp.id()]);
@@ -145,7 +146,20 @@ inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
   };
 
   sort_rec(sort_rec, n);
-  return SortRun{std::move(values), machine.trace()};
+  return values;
+}
+
+/// Sort n = |keys| (power of two) 62-bit keys on M(n).
+inline SortRun sort_oblivious(const std::vector<std::uint64_t>& keys,
+                              bool wiseness_dummies = true,
+                              ExecutionPolicy policy = {}) {
+  const std::uint64_t n = keys.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("sort_oblivious: size must be a power of two");
+  }
+  SimulateBackend<std::uint64_t> bk(n, policy);
+  std::vector<std::uint64_t> output = sort_program(bk, keys, wiseness_dummies);
+  return SortRun{std::move(output), bk.trace()};
 }
 
 }  // namespace nobl

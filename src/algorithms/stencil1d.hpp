@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "algorithms/stencil_geometry.hpp"
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/matrix.hpp"
@@ -51,16 +52,20 @@ struct Stencil1Run {
   Trace trace;
 };
 
-/// Evaluate the (n,1)-stencil with the diamond-decomposition schedule.
-/// k_override != 0 substitutes the recursion width k (ablation hook).
-inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
-                                      const Stencil1Fn& f,
-                                      bool wiseness_dummies = true,
-                                      std::uint64_t k_override = 0,
-                                      ExecutionPolicy policy = {}) {
+/// The (n,1)-stencil program (diamond-decomposition schedule) on any
+/// Backend with bk.v() == |input|. Fully host-mirrored: the grid lives on
+/// the host and bodies only evaluate their own leaves and send. Returns the
+/// evaluated space-time grid.
+template <typename Backend>
+Matrix<double> stencil1_program(Backend& bk, const std::vector<double>& input,
+                                const Stencil1Fn& f,
+                                bool wiseness_dummies = true,
+                                std::uint64_t k_override = 0) {
   const std::uint64_t n = input.size();
+  if (n != bk.v()) {
+    throw std::invalid_argument("stencil1_program: one band per VP required");
+  }
   const DiamondSchedule sched(n, k_override);
-  Machine<double> machine(n, policy);
 
   Matrix<double> grid(n, n, 0.0);
   for (std::uint64_t x = 0; x < n; ++x) grid(0, x) = input[x];
@@ -82,7 +87,7 @@ inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
   };
 
   // Send the producer leaf (α, β)'s boundary values to VP β+1.
-  auto forward_right = [&](Vp<double>& vp, std::uint64_t alpha,
+  auto forward_right = [&](auto& vp, std::uint64_t alpha,
                            std::uint64_t beta) {
     const auto a = static_cast<std::int64_t>(alpha);
     const auto b = static_cast<std::int64_t>(beta);
@@ -110,7 +115,7 @@ inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
       for (const auto& t : transfers) {
         if (t.beta >= dummy_bound) roster.push_back(t.beta);
       }
-      machine.superstep_sparse(label, roster, [&](Vp<double>& vp) {
+      bk.superstep_sparse(label, roster, [&](auto& vp) {
         const std::uint64_t id = vp.id();
         if (id < dummy_bound) vp.send_dummy(id + seg / 2, 1);
         const auto it = std::lower_bound(
@@ -133,7 +138,7 @@ inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
     for (const std::uint64_t beta : active.beta) {
       if (beta >= dummy_bound) roster.push_back(beta);
     }
-    machine.superstep_sparse(label, roster, [&](Vp<double>& vp) {
+    bk.superstep_sparse(label, roster, [&](auto& vp) {
       const std::uint64_t id = vp.id();
       if (id < dummy_bound) vp.send_dummy(id + seg / 2, 1);
       const auto it =
@@ -155,7 +160,22 @@ inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
     });
   });
 
-  return Stencil1Run{std::move(grid), machine.trace()};
+  return grid;
+}
+
+/// Evaluate the (n,1)-stencil with the diamond-decomposition schedule.
+/// k_override != 0 substitutes the recursion width k (ablation hook).
+inline Stencil1Run stencil1_oblivious(const std::vector<double>& input,
+                                      const Stencil1Fn& f,
+                                      bool wiseness_dummies = true,
+                                      std::uint64_t k_override = 0,
+                                      ExecutionPolicy policy = {}) {
+  const std::uint64_t n = input.size();
+  (void)DiamondSchedule(n, k_override);  // validate n before machine creation
+  SimulateBackend<double> bk(n, policy);
+  Matrix<double> grid = stencil1_program(bk, input, f, wiseness_dummies,
+                                         k_override);
+  return Stencil1Run{std::move(grid), bk.trace()};
 }
 
 /// The natural parameter-unaware baseline: VP x owns grid column x and the
@@ -169,12 +189,12 @@ inline Stencil1Run stencil1_rowwise(const std::vector<double>& input,
   if (!is_pow2(n) || n < 2) {
     throw std::invalid_argument("stencil1_rowwise: n must be a power of two");
   }
-  Machine<double> machine(n, policy);
+  SimulateBackend<double> bk(n, policy);
   Matrix<double> grid(n, n, 0.0);
   for (std::uint64_t x = 0; x < n; ++x) grid(0, x) = input[x];
 
   for (std::uint64_t t = 1; t < n; ++t) {
-    machine.superstep(0, [&](Vp<double>& vp) {
+    bk.superstep(0, [&](auto& vp) {
       const auto x = static_cast<std::int64_t>(vp.id());
       auto prev = [&](std::int64_t xx) -> double {
         if (xx < 0 || xx >= static_cast<std::int64_t>(n)) return 0.0;
@@ -186,7 +206,7 @@ inline Stencil1Run stencil1_rowwise(const std::vector<double>& input,
       if (vp.id() + 1 < n) vp.send(vp.id() + 1, grid(t, vp.id()));
     });
   }
-  return Stencil1Run{std::move(grid), machine.trace()};
+  return Stencil1Run{std::move(grid), bk.trace()};
 }
 
 /// Sequential reference evaluation.

@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -70,26 +71,30 @@ using Stencil2Fn = std::function<double(const std::array<double, 9>&)>;
   return prev;
 }
 
+/// Stage count of the Bilardi–Preparata cover of the cube: the 17 full or
+/// truncated octahedra/tetrahedra every (n,2)-stencil run iterates.
+inline constexpr std::uint64_t kStencil2Stages = 17;
+
 struct Stencil2Run {
   Trace trace;
   std::uint64_t stages = 0;
   std::vector<std::uint64_t> radices;  ///< per-level segment split factors
 };
 
-/// Generate the (n,2)-stencil schedule on M(n²) and return its trace.
-/// k_override substitutes the recursion width (ablation hook).
-inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
-                                               bool wiseness_dummies = true,
-                                               std::uint64_t k_override = 0,
-                                               ExecutionPolicy policy = {}) {
-  if (!is_pow2(n) || n < 2) {
+/// The (n,2)-stencil schedule program on any Backend with bk.v() == n².
+/// Returns the per-level split factors (the trace lives on the backend).
+template <typename Backend>
+std::vector<std::uint64_t> stencil2_program(Backend& bk, std::uint64_t n,
+                                            bool wiseness_dummies = true,
+                                            std::uint64_t k_override = 0) {
+  if (!is_pow2(n) || n < 2 || n * n != bk.v()) {
     throw std::invalid_argument(
-        "stencil2_oblivious_schedule: n must be a power of two >= 2");
+        "stencil2_program: n must be a power of two >= 2 with n^2 VPs");
   }
   std::uint64_t k;
   if (k_override != 0) {
     if (!is_pow2(k_override) || k_override < 2) {
-      throw std::invalid_argument("stencil2_oblivious_schedule: bad k");
+      throw std::invalid_argument("stencil2_program: bad k");
     }
     k = k_override;
   } else {
@@ -98,8 +103,7 @@ inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
   }
 
   const std::uint64_t v = n * n;
-  Machine<std::uint8_t> machine(v, policy);
-  const unsigned log_v = machine.log_v();
+  const unsigned log_v = bk.log_v();
 
   // Per-level segment sizes: divide by k² per level (mixed tail).
   std::vector<std::uint64_t> seg_sizes;   // segment evaluated at level i
@@ -132,7 +136,7 @@ inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
     const std::uint64_t active_span =
         wiseness_dummies ? std::min(v, 2 * span) : span;
     for (std::uint64_t ph = 0; ph < phases; ++ph) {
-      machine.superstep_range(label, 0, active_span, [&](Vp<std::uint8_t>& vp) {
+      bk.superstep_range(label, 0, active_span, [&](auto& vp) {
         // Boundary unit into the sibling half of the VP's own segment.
         const std::uint64_t base = vp.id() & ~(span - 1);
         if (vp.id() - base < span / 2) {
@@ -143,11 +147,26 @@ inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
     }
   };
 
-  const std::uint64_t stages = 17;  // Bilardi–Preparata cover of the cube
-  for (std::uint64_t stage = 0; stage < stages; ++stage) {
+  for (std::uint64_t stage = 0; stage < kStencil2Stages; ++stage) {
     run_level(run_level, 1);
   }
-  return Stencil2Run{machine.trace(), stages, radices};
+  return radices;
+}
+
+/// Generate the (n,2)-stencil schedule on M(n²) and return its trace.
+/// k_override substitutes the recursion width (ablation hook).
+inline Stencil2Run stencil2_oblivious_schedule(std::uint64_t n,
+                                               bool wiseness_dummies = true,
+                                               std::uint64_t k_override = 0,
+                                               ExecutionPolicy policy = {}) {
+  if (!is_pow2(n) || n < 2) {
+    throw std::invalid_argument(
+        "stencil2_oblivious_schedule: n must be a power of two >= 2");
+  }
+  SimulateBackend<std::uint8_t> bk(n * n, policy);
+  std::vector<std::uint64_t> radices =
+      stencil2_program(bk, n, wiseness_dummies, k_override);
+  return Stencil2Run{bk.trace(), kStencil2Stages, std::move(radices)};
 }
 
 }  // namespace nobl

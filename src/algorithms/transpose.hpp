@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
@@ -46,35 +47,29 @@ struct TransposeRun {
   Trace trace;
 };
 
-/// Transpose a square m x m matrix (m a power of two) on M(m²).
-template <typename T>
-TransposeRun<T> transpose_oblivious(const Matrix<T>& a,
-                                    ExecutionPolicy policy = {}) {
+/// The transpose program on any Backend with bk.v() == m²: recursive block
+/// decomposition, one superstep per depth. Returns the transposed matrix
+/// (host-mirrored, so valid under every backend).
+template <typename T, typename Backend>
+Matrix<T> transpose_program(Backend& bk, const Matrix<T>& a) {
   const std::uint64_t m = a.rows();
-  if (m == 0 || a.cols() != m) {
-    throw std::invalid_argument("transpose_oblivious: matrix must be square "
-                                "and non-empty");
+  if (m * m != bk.v() || a.cols() != m) {
+    throw std::invalid_argument("transpose_program: matrix must be square "
+                                "with m * m = bk.v()");
   }
-  if (!is_pow2(m)) {
-    throw std::invalid_argument(
-        "transpose_oblivious: side must be a power of two");
-  }
-  const std::uint64_t n = m * m;
-  Machine<T> machine(n, policy);
-  using VpT = Vp<T>;
   const unsigned log_m = log2_exact(m);
 
   std::vector<T> values(a.data());
   if (m == 1) {
-    machine.superstep(0, [](VpT&) {});
+    bk.superstep(0, [](auto&) {});
     Matrix<T> out(1, 1);
     out(0, 0) = values[0];
-    return TransposeRun<T>{std::move(out), machine.trace()};
+    return out;
   }
 
   for (unsigned d = 0; d < log_m; ++d) {
     std::vector<T> next(values);
-    machine.superstep(d, [&](VpT& vp) {
+    bk.superstep(d, [&](auto& vp) {
       const std::uint64_t i = vp.id() / m;
       const std::uint64_t j = vp.id() % m;
       // (i, j) moves at depth d iff i and j agree on their top d bits (same
@@ -90,7 +85,25 @@ TransposeRun<T> transpose_oblivious(const Matrix<T>& a,
 
   Matrix<T> out(m, m);
   out.data() = std::move(values);
-  return TransposeRun<T>{std::move(out), machine.trace()};
+  return out;
+}
+
+/// Transpose a square m x m matrix (m a power of two) on M(m²).
+template <typename T>
+TransposeRun<T> transpose_oblivious(const Matrix<T>& a,
+                                    ExecutionPolicy policy = {}) {
+  const std::uint64_t m = a.rows();
+  if (m == 0 || a.cols() != m) {
+    throw std::invalid_argument("transpose_oblivious: matrix must be square "
+                                "and non-empty");
+  }
+  if (!is_pow2(m)) {
+    throw std::invalid_argument(
+        "transpose_oblivious: side must be a power of two");
+  }
+  SimulateBackend<T> bk(m * m, policy);
+  Matrix<T> out = transpose_program(bk, a);
+  return TransposeRun<T>{std::move(out), bk.trace()};
 }
 
 }  // namespace nobl

@@ -1,0 +1,56 @@
+#include "bsp/backend.hpp"
+
+namespace nobl {
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSimulate:
+      return "simulate";
+    case BackendKind::kCost:
+      return "cost";
+    case BackendKind::kRecord:
+      return "record";
+  }
+  return "unknown";
+}
+
+BackendKind backend_from_string(const std::string& name) {
+  if (name == "simulate" || name == "sim") return BackendKind::kSimulate;
+  if (name == "cost") return BackendKind::kCost;
+  if (name == "record") return BackendKind::kRecord;
+  throw std::invalid_argument("unknown backend \"" + name +
+                              "\" (expected simulate | cost | record)");
+}
+
+const std::vector<BackendKind>& all_backend_kinds() {
+  static const std::vector<BackendKind> kinds{
+      BackendKind::kSimulate, BackendKind::kCost, BackendKind::kRecord};
+  return kinds;
+}
+
+std::size_t Schedule::total_sends() const noexcept {
+  std::size_t total = 0;
+  for (const ScheduleStep& step : steps) total += step.sends.size();
+  return total;
+}
+
+Trace Schedule::replay_trace() const {
+  Trace trace(log_v);
+  DegreeAccumulator acc(log_v);
+  for (const ScheduleStep& step : steps) {
+    if (step.label >= trace.label_bound()) {
+      throw std::invalid_argument("Schedule: superstep label out of range");
+    }
+    SuperstepRecord record;
+    record.label = step.label;
+    record.degree.assign(log_v + 1u, 0);
+    for (const ScheduleSend& send : step.sends) {
+      acc.count(send.src, send.dst, send.count);
+    }
+    acc.finalize_into(record);
+    trace.append(std::move(record));
+  }
+  return trace;
+}
+
+}  // namespace nobl

@@ -1,0 +1,401 @@
+// Pluggable execution backends for the Program API: the seam between the
+// paper's specification model and everything that interprets it.
+//
+// An algorithm in this repository is a *program*: a callable, templated on a
+// Backend type, that emits a sequence of labeled supersteps whose bodies are
+// written against the abstract VpContext concept —
+//
+//   vp.id(), vp.v(), vp.log_v()        identity
+//   vp.send(dst, payload)              a real message (delivered only by
+//                                      delivering backends)
+//   vp.send_dummy(dst, count)          degree-only traffic (§ wiseness)
+//
+// plus the backend-level superstep drivers
+//
+//   bk.superstep(label, body)
+//   bk.superstep_range(label, first, last, body)
+//   bk.superstep_sparse(label, active, body)
+//
+// and the compile-time predicate `Backend::delivers`. A program must compute
+// every destination and message count from host-mirrored state (never from
+// delivered payloads), so that the same body sequence produces the same
+// communication pattern under every backend; payload *values* may flow
+// through messages and be read back — via bk.inbox(r) between supersteps —
+// only inside `if constexpr (Backend::delivers)` regions.
+//
+// Three backends interpret a program:
+//
+//   SimulateBackend<Payload> — the full M(v) simulator (bsp/machine.hpp),
+//     sequential or parallel engine, payload routing, inboxes, peak-inbox
+//     audit. This *is* Machine<Payload>: the historical entry points keep
+//     working, and the golden/equivalence suites pin bit-identity.
+//
+//   CostBackend — drives the same bodies sequentially but intercepts
+//     send/send_dummy into DegreeAccumulator bucketing only: no payload
+//     storage, no delivery, no inboxes. Pure cost queries (`nobl certify`,
+//     wiseness/optimality scans, threshold-gated campaigns) become
+//     message-storage-free while producing bit-identical traces.
+//
+//   RecordBackend — a CostBackend that additionally captures the pattern as
+//     a replayable Schedule: per superstep, the (src, dst, count, dummy)
+//     events in execution order. Schedules feed conformance oracles and
+//     re-derive the trace without re-running the program (replay_trace).
+//
+// Validation parity: cost/record backends enforce the same rules as the
+// simulator — label range, no nested supersteps, strictly increasing sparse
+// active sets, destination range, and the i-cluster containment rule
+// (ClusterViolation) — so a program that certifies under CostBackend also
+// runs under SimulateBackend, and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bsp/execution.hpp"
+#include "bsp/machine.hpp"
+#include "bsp/trace.hpp"
+#include "util/bits.hpp"
+
+namespace nobl {
+
+/// Backend selector carried by CLIs, campaign specs and registry runners.
+enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord };
+
+/// "simulate" | "cost" | "record".
+[[nodiscard]] std::string to_string(BackendKind kind);
+
+/// Inverse of to_string; throws std::invalid_argument listing the valid
+/// names on a miss.
+[[nodiscard]] BackendKind backend_from_string(const std::string& name);
+
+/// Every backend, in declaration order (registry entries default to this).
+[[nodiscard]] const std::vector<BackendKind>& all_backend_kinds();
+
+/// How to execute one specification-model run: which backend interprets the
+/// program, and (for the simulating backend) which engine drives VP bodies.
+/// Implicitly constructible from an ExecutionPolicy so historical
+/// `runner(n, policy)` call sites keep reading naturally.
+struct RunOptions {
+  ExecutionPolicy policy{};
+  BackendKind backend = BackendKind::kSimulate;
+
+  RunOptions() = default;
+  // NOLINTNEXTLINE(runtime/explicit): deliberate converting constructor
+  RunOptions(const ExecutionPolicy& p) : policy(p) {}
+  // NOLINTNEXTLINE(runtime/explicit): deliberate converting constructor
+  RunOptions(BackendKind b) : backend(b) {}
+  RunOptions(const ExecutionPolicy& p, BackendKind b)
+      : policy(p), backend(b) {}
+};
+
+/// The simulating backend is the M(v) machine itself: it already models the
+/// whole Backend concept (superstep drivers, Vp handles, trace, inboxes,
+/// Machine::delivers). The alias is the API name programs are written
+/// against; Machine remains the engine-facing name.
+template <typename Payload>
+using SimulateBackend = Machine<Payload>;
+
+/// One recorded communication event: `count` unit messages src -> dst
+/// (count > 1 only for dummy traffic; real sends record one event each).
+struct ScheduleSend {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t count = 1;
+  bool dummy = false;
+
+  friend bool operator==(const ScheduleSend&, const ScheduleSend&) = default;
+};
+
+/// One recorded superstep: label plus its events in execution order
+/// (ascending sender under the sequential driver, per-sender send order).
+struct ScheduleStep {
+  unsigned label = 0;
+  std::vector<ScheduleSend> sends;
+};
+
+/// A replayable communication pattern: the Program IR made first-class.
+/// Recorded by RecordBackend; consumed by conformance oracles and by
+/// replay_trace, which re-derives the full per-fold degree trace from the
+/// events alone — no program, no payloads, no machine.
+struct Schedule {
+  unsigned log_v = 0;
+  std::vector<ScheduleStep> steps;
+
+  [[nodiscard]] std::uint64_t v() const noexcept {
+    return std::uint64_t{1} << log_v;
+  }
+  /// Total recorded events (not messages: a dummy burst is one event).
+  [[nodiscard]] std::size_t total_sends() const noexcept;
+  /// Re-derive the trace by feeding every event through a fresh
+  /// DegreeAccumulator per superstep — the replay half of record/replay.
+  [[nodiscard]] Trace replay_trace() const;
+};
+
+/// The payload-free counting backend. Bodies run inline, in VP index order
+/// (the reference semantics); send/send_dummy collapse to O(1) degree
+/// bucketing. trace() is bit-identical to the simulator's by construction:
+/// both feed the same (src, dst, count) stream into the same accumulator.
+class CostBackend {
+ public:
+  static constexpr bool delivers = false;
+
+  /// The VpContext handle for counting backends. The hot per-send state
+  /// (machine size, cluster shift, accumulator, capture sink) is cached in
+  /// the handle at construction, and the send half of the degree stream is
+  /// batched per source VP — every send of one VP shares its src, so the
+  /// sent-side buckets and the message total accumulate on the stack and
+  /// flush into the DegreeAccumulator once per VP (commit(), called by the
+  /// superstep driver). The resulting accumulator state is bit-identical
+  /// to per-message counting; only the constant factor changes.
+  template <bool kCapture>
+  class VpRefT {
+   public:
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] std::uint64_t v() const noexcept { return v_; }
+    [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
+
+    /// Count a real message. The payload argument is accepted for call-site
+    /// compatibility with the simulator and discarded unread — cost runs
+    /// never construct message storage.
+    template <typename Payload>
+    void send(std::uint64_t dst, Payload&&) {
+      if (dst >= v_ || ((id_ ^ dst) >> breach_shift_) != 0) [[unlikely]] {
+        backend_->fail_send(id_, dst);
+      }
+      ++messages_;
+      if (dst != id_) bucket(dst, 1);
+      if constexpr (kCapture) {
+        capture_->steps.back().sends.push_back({id_, dst, 1, false});
+      }
+    }
+    void send_dummy(std::uint64_t dst, std::uint64_t count = 1) {
+      if (count == 0) return;
+      if (dst >= v_ || ((id_ ^ dst) >> breach_shift_) != 0) [[unlikely]] {
+        backend_->fail_send(id_, dst);
+      }
+      messages_ += count;
+      if (dst != id_) bucket(dst, count);
+      if constexpr (kCapture) {
+        capture_->steps.back().sends.push_back({id_, dst, count, true});
+      }
+    }
+
+   private:
+    friend class CostBackend;
+    VpRefT(CostBackend* backend, std::uint64_t id)
+        : backend_(backend),
+          acc_(&backend->acc_),
+          capture_(backend->capture_),
+          active_data_(backend->acc_.active_data()),
+          recv_data_(backend->acc_.recv_data()),
+          id_(id),
+          v_(backend->v_),
+          log_v_(backend->log_v_),
+          breach_shift_(backend->breach_shift_) {}
+
+    void bucket(std::uint64_t dst, std::uint64_t count) {
+      // The endpoints share cb most-significant bits (cf.
+      // DegreeAccumulator::count); receive side goes straight to the
+      // accumulator's lanes (raw pointers cached at construction — the
+      // lanes are pre-sized by begin_superstep), send side into the local
+      // per-src buckets.
+      const auto cb = static_cast<unsigned>(
+          log_v_ - static_cast<unsigned>(std::bit_width(id_ ^ dst)));
+      if (((dirty_ >> cb) & 1) == 0) {
+        sent_[cb] = 0;
+        dirty_ |= std::uint64_t{1} << cb;
+      }
+      sent_[cb] += count;
+      if (active_data_[dst] == 0) [[unlikely]] {
+        active_data_[dst] = 1;
+        acc_->note_touched(dst);
+      }
+      recv_data_[(static_cast<std::size_t>(cb) << log_v_) + dst] += count;
+    }
+
+    /// Flush the batched send half; the driver calls this exactly once,
+    /// after the body returns.
+    void commit() { acc_->flush_sent(id_, dirty_, sent_, messages_); }
+
+    CostBackend* backend_;
+    DegreeAccumulator* acc_;
+    Schedule* capture_;
+    std::uint8_t* active_data_;
+    std::uint64_t* recv_data_;
+    std::uint64_t id_;
+    std::uint64_t v_;
+    unsigned log_v_;
+    unsigned breach_shift_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t dirty_ = 0;  ///< bit cb set iff sent_[cb] is live
+    std::uint64_t sent_[64];   ///< per-crossing-level send counts (lazy init)
+  };
+
+  /// Create a counting backend for M(v). v must be a power of two.
+  explicit CostBackend(std::uint64_t v)
+      : log_v_(log2_exact(v)), v_(v), acc_(log_v_), trace_(log_v_) {}
+
+  [[nodiscard]] std::uint64_t v() const noexcept { return v_; }
+  [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  template <typename Body>
+  void superstep(unsigned label, Body&& body) {
+    superstep_range(label, 0, v_, std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void superstep_range(unsigned label, std::uint64_t first, std::uint64_t last,
+                       Body&& body) {
+    begin_superstep(label);
+    if (capture_ == nullptr) {
+      for (std::uint64_t r = first; r < last; ++r) {
+        VpRefT<false> vp(this, r);
+        body(vp);
+        vp.commit();
+      }
+    } else {
+      for (std::uint64_t r = first; r < last; ++r) {
+        VpRefT<true> vp(this, r);
+        body(vp);
+        vp.commit();
+      }
+    }
+    end_superstep();
+  }
+
+  template <typename Body>
+  void superstep_sparse(unsigned label, std::span<const std::uint64_t> active,
+                        Body&& body) {
+    begin_superstep(label);
+    std::uint64_t previous = 0;
+    bool first = true;
+    for (const std::uint64_t r : active) {
+      if (r >= v_ || (!first && r <= previous)) {
+        in_superstep_ = false;
+        throw std::invalid_argument(
+            "CostBackend: sparse active set must be strictly increasing VP "
+            "ids");
+      }
+      previous = r;
+      first = false;
+    }
+    if (capture_ == nullptr) {
+      for (const std::uint64_t r : active) {
+        VpRefT<false> vp(this, r);
+        body(vp);
+        vp.commit();
+      }
+    } else {
+      for (const std::uint64_t r : active) {
+        VpRefT<true> vp(this, r);
+        body(vp);
+        vp.commit();
+      }
+    }
+    end_superstep();
+  }
+
+ protected:
+  /// Derived backends route a non-null `capture` to record every event.
+  void set_capture(Schedule* capture) noexcept { capture_ = capture; }
+
+ private:
+  void begin_superstep(unsigned label) {
+    if (label >= trace_.label_bound()) {
+      throw std::invalid_argument("CostBackend: superstep label out of range");
+    }
+    if (in_superstep_) {
+      throw std::logic_error("CostBackend: nested superstep");
+    }
+    in_superstep_ = true;
+    label_ = label;
+    // A message breaches the sender's label_-cluster iff src and dst differ
+    // in any of the top label_ bits: (src ^ dst) >> breach_shift_ != 0.
+    // Precomputing the shift keeps the per-send check to xor + shift.
+    breach_shift_ = log_v_ - label;
+    acc_.ensure_lanes();
+    record_.label = label;
+    record_.degree.assign(log_v_ + 1, 0);
+    if (capture_ != nullptr) capture_->steps.push_back({label, {}});
+  }
+
+  void end_superstep() {
+    acc_.finalize_into(record_);
+    trace_.append(std::move(record_));
+    record_ = SuperstepRecord{};
+    in_superstep_ = false;
+  }
+
+  /// Cold path of VpRef's send check: decide which invariant broke. The
+  /// fast path pre-verified `dst >= v_ || cluster breach`, so exactly one
+  /// of the two throws fires.
+  [[noreturn]] void fail_send(std::uint64_t src, std::uint64_t dst) const {
+    if (dst >= v_) {
+      throw std::out_of_range("CostBackend: destination VP out of range");
+    }
+    throw ClusterViolation(
+        "CostBackend: message leaves the sender's " + std::to_string(label_) +
+        "-cluster (src=" + std::to_string(src) +
+        ", dst=" + std::to_string(dst) + ")");
+  }
+
+  unsigned log_v_;
+  std::uint64_t v_;
+  DegreeAccumulator acc_;
+  Trace trace_;
+  Schedule* capture_ = nullptr;
+  bool in_superstep_ = false;
+  unsigned label_ = 0;
+  unsigned breach_shift_ = 0;  ///< log_v - label of the open superstep
+  SuperstepRecord record_;
+};
+
+/// A CostBackend that additionally captures the program's communication
+/// pattern as a Schedule. schedule().replay_trace() must reproduce trace()
+/// bit-for-bit (pinned by tests/bsp/test_backend.cpp).
+class RecordBackend : public CostBackend {
+ public:
+  explicit RecordBackend(std::uint64_t v) : CostBackend(v) {
+    schedule_.log_v = log_v();
+    set_capture(&schedule_);
+  }
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  Schedule schedule_;
+};
+
+/// Run `program` (a callable taking `auto& backend`) on a machine of v VPs
+/// under the selected backend and return the recorded trace. The record
+/// backend returns the trace re-derived from its Schedule, so every
+/// `--backend record` run exercises the record -> replay path end to end.
+template <typename Payload, typename ProgramFn>
+[[nodiscard]] Trace run_for_trace(std::uint64_t v, const RunOptions& options,
+                                  ProgramFn&& program) {
+  switch (options.backend) {
+    case BackendKind::kCost: {
+      CostBackend backend(v);
+      program(backend);
+      return backend.trace();
+    }
+    case BackendKind::kRecord: {
+      RecordBackend backend(v);
+      program(backend);
+      return backend.schedule().replay_trace();
+    }
+    case BackendKind::kSimulate:
+    default: {
+      SimulateBackend<Payload> backend(v, options.policy);
+      program(backend);
+      return backend.trace();
+    }
+  }
+}
+
+}  // namespace nobl

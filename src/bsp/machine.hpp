@@ -127,6 +127,11 @@ class Machine {
  public:
   using MessageT = Message<Payload>;
 
+  /// Machine models the delivering half of the Backend concept
+  /// (bsp/backend.hpp): programs may read payloads back — bk.inbox(r)
+  /// between supersteps — inside `if constexpr (Backend::delivers)` regions.
+  static constexpr bool delivers = true;
+
   /// Create an M(v). v must be a power of two (Section 2's assumption).
   explicit Machine(std::uint64_t v,
                    ExecutionPolicy policy = ExecutionPolicy::sequential())

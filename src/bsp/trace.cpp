@@ -25,12 +25,12 @@ void DegreeAccumulator::absorb(DegreeAccumulator& other) {
   if (!other.touched_.empty() && active_.empty()) allocate_lanes();
   for (const std::uint64_t r : other.touched_) {
     touch(r);
-    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
     for (unsigned cb = 0; cb < log_v_; ++cb) {
-      sent_fine_[base + cb] += other.sent_fine_[base + cb];
-      recv_fine_[base + cb] += other.recv_fine_[base + cb];
-      other.sent_fine_[base + cb] = 0;
-      other.recv_fine_[base + cb] = 0;
+      const std::size_t idx = lane(cb) + r;
+      sent_fine_[idx] += other.sent_fine_[idx];
+      recv_fine_[idx] += other.recv_fine_[idx];
+      other.sent_fine_[idx] = 0;
+      other.recv_fine_[idx] = 0;
     }
     other.active_[r] = 0;
   }
@@ -44,12 +44,22 @@ void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
   }
   // Prefix over crossing levels: after this pass, lane j-1 of VP r holds the
   // number of messages r sent (received) that cross fold 2^j, i.e. the sum of
-  // its lanes with cb < j.
-  for (const std::uint64_t r : touched_) {
-    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
-    for (unsigned cb = 1; cb < log_v_; ++cb) {
-      sent_fine_[base + cb] += sent_fine_[base + cb - 1];
-      recv_fine_[base + cb] += recv_fine_[base + cb - 1];
+  // its lanes with cb < j. (cb-major layout: row cb is contiguous; when the
+  // superstep touched every VP the rows are processed whole, without the
+  // touched_ indirection, which lets the loops vectorize.)
+  const std::size_t v = std::size_t{1} << log_v_;
+  const bool dense = touched_.size() == v;
+  for (unsigned cb = 1; cb < log_v_; ++cb) {
+    if (dense) {
+      for (std::size_t r = 0; r < v; ++r) {
+        sent_fine_[lane(cb) + r] += sent_fine_[lane(cb - 1) + r];
+        recv_fine_[lane(cb) + r] += recv_fine_[lane(cb - 1) + r];
+      }
+    } else {
+      for (const std::uint64_t r : touched_) {
+        sent_fine_[lane(cb) + r] += sent_fine_[lane(cb - 1) + r];
+        recv_fine_[lane(cb) + r] += recv_fine_[lane(cb - 1) + r];
+      }
     }
   }
   if (!touched_.empty() && cluster_active_.empty()) {
@@ -67,9 +77,8 @@ void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
         cluster_active_[q] = 1;
         cluster_touched_.push_back(q);
       }
-      const std::size_t base = static_cast<std::size_t>(r) * log_v_;
-      cluster_sent_[q] += sent_fine_[base + j - 1];
-      cluster_recv_[q] += recv_fine_[base + j - 1];
+      cluster_sent_[q] += sent_fine_[lane(j - 1) + r];
+      cluster_recv_[q] += recv_fine_[lane(j - 1) + r];
     }
     std::uint64_t peak = 0;
     for (const std::uint64_t q : cluster_touched_) {
@@ -81,11 +90,18 @@ void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
     cluster_touched_.clear();
     record.degree[j] = peak;
   }
-  for (const std::uint64_t r : touched_) {
-    const std::size_t base = static_cast<std::size_t>(r) * log_v_;
-    std::fill(sent_fine_.begin() + base, sent_fine_.begin() + base + log_v_, 0);
-    std::fill(recv_fine_.begin() + base, recv_fine_.begin() + base + log_v_, 0);
-    active_[r] = 0;
+  if (dense) {
+    std::fill(sent_fine_.begin(), sent_fine_.end(), 0);
+    std::fill(recv_fine_.begin(), recv_fine_.end(), 0);
+    std::fill(active_.begin(), active_.end(), 0);
+  } else {
+    for (unsigned cb = 0; cb < log_v_; ++cb) {
+      for (const std::uint64_t r : touched_) {
+        sent_fine_[lane(cb) + r] = 0;
+        recv_fine_[lane(cb) + r] = 0;
+      }
+    }
+    for (const std::uint64_t r : touched_) active_[r] = 0;
   }
   touched_.clear();
   record.messages = messages_;

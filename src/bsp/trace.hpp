@@ -81,8 +81,51 @@ class DegreeAccumulator {
         log_v_ - static_cast<unsigned>(std::bit_width(src ^ dst));
     touch(src);
     touch(dst);
-    sent_fine_[src * log_v_ + cb] += count;
-    recv_fine_[dst * log_v_ + cb] += count;
+    sent_fine_[lane(cb) + src] += count;
+    recv_fine_[lane(cb) + dst] += count;
+  }
+
+  /// Pre-size the fine lanes so the split hot path below may skip the lazy
+  /// allocation check. Idempotent; called once per superstep by drivers
+  /// that know their lane is used (the sequential counting backend).
+  void ensure_lanes() {
+    if (active_.empty()) allocate_lanes();
+  }
+
+  /// Split hot path (bsp/backend.hpp): the receive half of count() for one
+  /// message src -> dst with crossing level cb, where the caller batches
+  /// the send half per source VP and flushes it via flush_sent(). Requires
+  /// ensure_lanes(); self-messages must not be routed here. The final
+  /// accumulator state is bit-identical to per-message count() calls.
+  void count_recv(std::uint64_t dst, unsigned cb, std::uint64_t count) {
+    touch(dst);
+    recv_fine_[lane(cb) + dst] += count;
+  }
+
+  /// Raw lane access for drivers that inline the receive half (require
+  /// ensure_lanes(); see CostBackend::VpRef). The caller owns the contract
+  /// count_recv() implements: flag active_data()[r] and note_touched(r) on
+  /// the first touch of r, then bump recv_data()[(cb << log_v) + r].
+  [[nodiscard]] std::uint8_t* active_data() noexcept { return active_.data(); }
+  [[nodiscard]] std::uint64_t* recv_data() noexcept {
+    return recv_fine_.data();
+  }
+  void note_touched(std::uint64_t r) { touched_.push_back(r); }
+
+  /// Flush a source VP's batched send half: for every set bit cb of
+  /// `dirty`, `sent[cb]` messages with crossing level cb were sent by
+  /// `src`; `messages` is the VP's total (including self-traffic and
+  /// dummies). Requires ensure_lanes() when dirty != 0.
+  void flush_sent(std::uint64_t src, std::uint64_t dirty,
+                  const std::uint64_t* sent, std::uint64_t messages) {
+    messages_ += messages;
+    if (dirty == 0) return;
+    touch(src);
+    while (dirty != 0) {
+      const auto cb = static_cast<unsigned>(std::countr_zero(dirty));
+      dirty &= dirty - 1;
+      sent_fine_[lane(cb) + src] += sent[cb];
+    }
   }
 
   /// Fold `other` into this accumulator, resetting `other` for reuse.
@@ -109,9 +152,18 @@ class DegreeAccumulator {
   /// the parallel engine constructs one accumulator per worker.
   void allocate_lanes();
 
+  /// Start of crossing level cb's row in the fine lanes. The layout is
+  /// cb-major — fine[(cb << log_v) + r] — so the hot-path index is a shift
+  /// and an add (v is a power of two; r-major indexing would multiply by
+  /// log_v), and the per-fold reduction in finalize_into reads each row
+  /// contiguously.
+  [[nodiscard]] std::size_t lane(unsigned cb) const noexcept {
+    return static_cast<std::size_t>(cb) << log_v_;
+  }
+
   unsigned log_v_ = 0;
   std::uint64_t messages_ = 0;
-  // sent_fine_[r * log_v + cb] / recv_fine_[r * log_v + cb]: messages VP r
+  // sent_fine_[lane(cb) + r] / recv_fine_[lane(cb) + r]: messages VP r
   // sent/received with crossing level cb (0 <= cb < log_v). active_ flags and
   // touched_ list the VPs with nonzero lanes so finalize/reset cost scales
   // with the active set, not with v. All sized lazily by allocate_lanes().

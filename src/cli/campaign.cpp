@@ -80,6 +80,15 @@ double parse_sigma(std::string_view tok, std::size_t line, std::size_t column) {
   return v;
 }
 
+BackendKind parse_backend(std::string_view tok, std::size_t line,
+                          std::size_t column) {
+  try {
+    return backend_from_string(std::string(tok));
+  } catch (const std::invalid_argument& e) {
+    parse_fail(line, column, e.what());
+  }
+}
+
 ExecutionPolicy parse_engine(std::string_view tok, std::size_t line,
                              std::size_t column) {
   if (tok == "seq" || tok == "sequential") return ExecutionPolicy::sequential();
@@ -134,9 +143,7 @@ AlgoSweep parse_sweep(std::string_view tok, std::size_t line,
                      std::to_string(entry->max_sweep_size) + "]");
     }
     if (!entry->admits(n)) {
-      parse_fail(line, column + pos + 1,
-                 "algorithm \"" + name + "\" rejects n = " + std::to_string(n) +
-                     " (" + entry->size_rule + ")");
+      parse_fail(line, column + pos + 1, entry->inadmissible_message(n));
     }
     sweep.sizes.push_back(n);
     pos = next;
@@ -150,6 +157,7 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
   CampaignSpec spec;
   bool saw_algorithms = false;
   bool saw_engines = false;
+  bool saw_backends = false;
   std::size_t line_no = 0;
   std::size_t start = 0;
   while (start <= text.size()) {
@@ -192,6 +200,13 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
         if (tok.empty()) parse_fail(line_no, col, "empty engine entry");
         spec.engines.push_back(parse_engine(tok, line_no, col));
       }
+    } else if (key == "backends") {
+      saw_backends = true;
+      spec.backends.clear();
+      for (const auto& [tok, col] : split_list(value, value_column)) {
+        if (tok.empty()) parse_fail(line_no, col, "empty backend entry");
+        spec.backends.push_back(parse_backend(tok, line_no, col));
+      }
     } else if (key == "sigmas") {
       if (value != "auto") {
         for (const auto& [tok, col] : split_list(value, value_column)) {
@@ -209,8 +224,8 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
     } else {
       parse_fail(line_no, indent + 1,
                  "unknown key \"" + std::string(key) +
-                     "\" (expected name | algorithms | engines | sigmas | "
-                     "max_fold)");
+                     "\" (expected name | algorithms | engines | backends | "
+                     "sigmas | max_fold)");
     }
   }
 
@@ -225,6 +240,9 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
   }
   if (saw_engines && spec.engines.empty()) {
     parse_fail(line_no, 1, "campaign has no engines");
+  }
+  if (saw_backends && spec.backends.empty()) {
+    parse_fail(line_no, 1, "campaign has no backends");
   }
   if (spec.name.empty()) spec.name = "unnamed";
   return spec;
@@ -278,60 +296,80 @@ std::vector<std::string> builtin_campaign_names() {
 // Execution.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Evaluate the full metric surface for one (algorithm, n, backend, engine)
+/// cell and append the RunResult.
+void run_one_cell(const CampaignSpec& spec, const AlgoEntry& entry,
+                  std::uint64_t n, BackendKind backend,
+                  const ExecutionPolicy& policy, std::ostream* progress,
+                  std::vector<RunResult>* runs) {
+  if (progress != nullptr) {
+    *progress << "nobl: running " << entry.name << " n=" << n << " ["
+              << to_string(policy) << ", " << to_string(backend) << "]\n";
+  }
+  RunResult run;
+  run.algorithm = entry.name;
+  run.engine = to_string(policy);
+  run.backend = to_string(backend);
+  run.n = n;
+  run.trace = entry.runner(n, RunOptions{policy, backend});
+  run.log_v = run.trace.log_v();
+  run.supersteps = run.trace.supersteps();
+  run.messages = run.trace.total_messages();
+
+  const std::uint64_t top_fold =
+      spec.max_fold == 0 ? run.trace.v()
+                         : std::min<std::uint64_t>(spec.max_fold,
+                                                   run.trace.v());
+  for (const std::uint64_t p : pow2_range(top_fold)) {
+    const unsigned log_p = log2_exact(p);
+    run.folds.push_back({p, wiseness_alpha(run.trace, log_p),
+                         fullness_gamma(run.trace, log_p)});
+    const std::vector<double> grid =
+        spec.sigmas.empty() ? sigma_grid(n, p) : spec.sigmas;
+    for (const double sigma : grid) {
+      CellResult cell;
+      cell.p = p;
+      cell.sigma = sigma;
+      cell.h = communication_complexity(run.trace, log_p, sigma);
+      cell.predicted = entry.predicted(n, p, sigma);
+      cell.lower_bound = entry.lower_bound(n, p, sigma);
+      cell.ratio_predicted =
+          cell.predicted > 0 ? cell.h / cell.predicted : 0.0;
+      cell.ratio_lb = cell.lower_bound > 0 ? cell.h / cell.lower_bound : 0.0;
+      run.cells.push_back(cell);
+    }
+  }
+  if (top_fold >= 2) {
+    const unsigned log_top = log2_exact(top_fold);
+    const std::vector<double> grid =
+        spec.sigmas.empty() ? sigma_grid(n, top_fold) : spec.sigmas;
+    run.certification = certify_optimality(run.trace, n, log_top,
+                                           entry.lower_bound, grid);
+  }
+  runs->push_back(std::move(run));
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const CampaignSpec& spec, std::ostream* progress) {
   CampaignResult result;
   result.spec = spec;
-  for (const ExecutionPolicy& policy : spec.engines) {
-    const std::string engine_name = to_string(policy);
-    for (const AlgoSweep& sweep : spec.sweeps) {
-      const AlgoEntry& entry = AlgoRegistry::instance().at(sweep.algorithm);
-      for (const std::uint64_t n : sweep.sizes) {
-        if (progress != nullptr) {
-          *progress << "nobl: running " << entry.name << " n=" << n << " ["
-                    << engine_name << "]\n";
+  for (const BackendKind backend : spec.backends) {
+    // Non-simulating backends drive bodies sequentially regardless of the
+    // engine matrix: one run per (algorithm, n) suffices.
+    const std::vector<ExecutionPolicy> engines =
+        backend == BackendKind::kSimulate
+            ? spec.engines
+            : std::vector<ExecutionPolicy>{ExecutionPolicy::sequential()};
+    for (const ExecutionPolicy& policy : engines) {
+      for (const AlgoSweep& sweep : spec.sweeps) {
+        const AlgoEntry& entry = AlgoRegistry::instance().at(sweep.algorithm);
+        for (const std::uint64_t n : sweep.sizes) {
+          run_one_cell(spec, entry, n, backend, policy, progress,
+                       &result.runs);
         }
-        RunResult run;
-        run.algorithm = entry.name;
-        run.engine = engine_name;
-        run.n = n;
-        run.trace = entry.runner(n, policy);
-        run.log_v = run.trace.log_v();
-        run.supersteps = run.trace.supersteps();
-        run.messages = run.trace.total_messages();
-
-        const std::uint64_t top_fold =
-            spec.max_fold == 0
-                ? run.trace.v()
-                : std::min<std::uint64_t>(spec.max_fold, run.trace.v());
-        for (const std::uint64_t p : pow2_range(top_fold)) {
-          const unsigned log_p = log2_exact(p);
-          run.folds.push_back({p, wiseness_alpha(run.trace, log_p),
-                               fullness_gamma(run.trace, log_p)});
-          const std::vector<double> grid =
-              spec.sigmas.empty() ? sigma_grid(n, p) : spec.sigmas;
-          for (const double sigma : grid) {
-            CellResult cell;
-            cell.p = p;
-            cell.sigma = sigma;
-            cell.h = communication_complexity(run.trace, log_p, sigma);
-            cell.predicted = entry.predicted(n, p, sigma);
-            cell.lower_bound = entry.lower_bound(n, p, sigma);
-            cell.ratio_predicted =
-                cell.predicted > 0 ? cell.h / cell.predicted : 0.0;
-            cell.ratio_lb =
-                cell.lower_bound > 0 ? cell.h / cell.lower_bound : 0.0;
-            run.cells.push_back(cell);
-          }
-        }
-        if (top_fold >= 2) {
-          const unsigned log_top = log2_exact(top_fold);
-          const std::vector<double> grid = spec.sigmas.empty()
-                                               ? sigma_grid(n, top_fold)
-                                               : spec.sigmas;
-          run.certification = certify_optimality(run.trace, n, log_top,
-                                                 entry.lower_bound, grid);
-        }
-        result.runs.push_back(std::move(run));
       }
     }
   }
@@ -351,11 +389,15 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result) {
   w.key("engines").begin_array();
   for (const auto& policy : result.spec.engines) w.value(to_string(policy));
   w.end_array();
+  w.key("backends").begin_array();
+  for (const BackendKind kind : result.spec.backends) w.value(to_string(kind));
+  w.end_array();
   w.key("runs").begin_array();
   for (const RunResult& run : result.runs) {
     w.begin_object();
     w.key("algorithm").value(run.algorithm);
     w.key("engine").value(run.engine);
+    w.key("backend").value(run.backend.empty() ? "simulate" : run.backend);
     w.key("n").value(run.n);
     w.key("log_v").value(run.log_v);
     w.key("supersteps").value(run.supersteps);
@@ -400,7 +442,11 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result) {
 void print_campaign_text(std::ostream& os, const CampaignResult& result) {
   os << "campaign: " << result.spec.name << "\n";
   for (const RunResult& run : result.runs) {
-    Table h(run.algorithm + " n=" + std::to_string(run.n) + " [" + run.engine +
+    const std::string tag =
+        run.backend.empty() || run.backend == "simulate"
+            ? run.engine
+            : run.engine + ", " + run.backend;
+    Table h(run.algorithm + " n=" + std::to_string(run.n) + " [" + tag +
                 "]: H vs closed forms",
             {"p", "sigma", "H measured", "H predicted", "meas/pred",
              "lower bound", "meas/LB"});
@@ -415,8 +461,8 @@ void print_campaign_text(std::ostream& os, const CampaignResult& result) {
           .add(cell.ratio_lb);
     }
     os << h;
-    Table wise(run.algorithm + " n=" + std::to_string(run.n) + " [" +
-                   run.engine + "]: wiseness/fullness per fold",
+    Table wise(run.algorithm + " n=" + std::to_string(run.n) + " [" + tag +
+                   "]: wiseness/fullness per fold",
                {"p", "alpha (Def 3.2)", "gamma (Def 5.2)"});
     for (const FoldResult& fold : run.folds) {
       wise.row().add(fold.p).add(fold.alpha).add(fold.gamma);
@@ -474,8 +520,9 @@ std::vector<std::string> validate_campaign_json(const JsonValue& doc) {
     return out;
   }
 
-  // (algorithm, n) -> rendered H cells of the first engine seen; later
-  // engines must match exactly (the engines are bit-identical by contract).
+  // (algorithm, n) -> rendered H cells of the first (engine, backend) seen;
+  // later engines AND backends must match exactly (bit-identical by the
+  // Program API contract).
   std::map<std::string, std::pair<std::string, std::string>> first_engine;
   std::size_t index = 0;
   for (const JsonValue& run : runs->as_array()) {
@@ -494,6 +541,15 @@ std::vector<std::string> validate_campaign_json(const JsonValue& doc) {
       out.push_back(where + ": missing string \"engine\"");
       continue;
     }
+    // Documents from before the backend dimension omit the key; treat them
+    // as simulate runs.
+    const JsonValue* backend_value = run.find("backend");
+    if (backend_value != nullptr && !backend_value->is_string()) {
+      out.push_back(where + ": \"backend\" must be a string");
+      continue;
+    }
+    const std::string backend_name =
+        backend_value != nullptr ? backend_value->as_string() : "simulate";
     require_number(run, "n", where, &out);
     require_number(run, "supersteps", where, &out);
     require_number(run, "messages", where, &out);
@@ -533,16 +589,47 @@ std::vector<std::string> validate_campaign_json(const JsonValue& doc) {
         json_number(run.find("n") != nullptr && run.at("n").is_number()
                         ? run.at("n").as_number()
                         : -1.0);
-    const auto [it, inserted] = first_engine.try_emplace(
-        group, engine->as_string(), h_fingerprint);
+    const std::string stack = engine->as_string() + ", " + backend_name;
+    const auto [it, inserted] =
+        first_engine.try_emplace(group, stack, h_fingerprint);
     if (!inserted && it->second.second != h_fingerprint) {
-      out.push_back(where + ": H cells of " + group + " under engine \"" +
-                    engine->as_string() +
-                    "\" differ from engine \"" + it->second.first +
-                    "\" (engines must be bit-identical)");
+      out.push_back(where + ": H cells of " + group + " under [" + stack +
+                    "] differ from [" + it->second.first +
+                    "] (engines and backends must be bit-identical)");
     }
   }
   return out;
+}
+
+void write_registry_json(std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("algorithms").begin_array();
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    w.begin_object();
+    w.key("name").value(entry.name);
+    w.key("summary").value(entry.summary);
+    w.key("source").value(entry.source);
+    w.key("size_rule").value(entry.size_rule);
+    w.key("bench_sizes").begin_array();
+    for (const auto size : entry.bench_sizes) w.value(size);
+    w.end_array();
+    w.key("smoke_sizes").begin_array();
+    for (const auto size : entry.smoke_sizes) w.value(size);
+    w.end_array();
+    w.key("max_sweep_size").value(entry.max_sweep_size);
+    w.key("backends").begin_array();
+    for (const BackendKind kind : entry.backends) w.value(to_string(kind));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("campaigns").begin_array();
+  for (const auto& name : builtin_campaign_names()) w.value(name);
+  w.end_array();
+  w.end_object();
+  os << '\n';
 }
 
 std::vector<std::string> check_thresholds(const JsonValue& results,

@@ -1,9 +1,10 @@
 // Campaigns: programmable experiment sweeps over the algorithm registry.
 //
-// A campaign names a set of algorithms (each with a size sweep), an engine
-// matrix, a fold range and a σ grid. `run_campaign` executes every
-// (algorithm, n, engine) cell once on the specification model and evaluates
-// the full metric surface from the recorded trace:
+// A campaign names a set of algorithms (each with a size sweep), a backend
+// matrix (simulate / cost / record, see bsp/backend.hpp), an engine matrix,
+// a fold range and a σ grid. `run_campaign` executes every (algorithm, n,
+// backend, engine) cell once and evaluates the full metric surface from the
+// recorded trace:
 //
 //   * H measured vs predicted vs lower bound at every fold × σ,
 //   * wiseness α / fullness γ at every fold (Defs. 3.2 / 5.2),
@@ -22,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/execution.hpp"
 #include "bsp/trace.hpp"
 #include "core/optimality.hpp"
@@ -44,6 +46,10 @@ struct CampaignSpec {
   std::string name;
   std::vector<AlgoSweep> sweeps;
   std::vector<ExecutionPolicy> engines = {ExecutionPolicy::sequential()};
+  /// Backends to run every sweep under. Non-simulating backends ignore the
+  /// engine matrix (their driver is always sequential), so they execute
+  /// once per (algorithm, n) instead of once per engine.
+  std::vector<BackendKind> backends = {BackendKind::kSimulate};
   /// Cap on the fold sweep (folds run 2..min(max_fold, v)); 0 = up to v.
   std::uint64_t max_fold = 0;
   /// Explicit σ grid; empty = the standard grid {0, 1, √(n/p), n/p}.
@@ -56,6 +62,7 @@ struct CampaignSpec {
 ///   name = nightly
 ///   algorithms = matmul:64:4096, fft, sort:256     (bare name = smoke sizes)
 ///   engines = seq, par:2                           (default: seq)
+///   backends = simulate, cost, record              (default: simulate)
 ///   sigmas = 0, 1, 4.5                             (default: auto grid)
 ///   max_fold = 64                                  (default: all folds)
 ///
@@ -91,7 +98,8 @@ struct FoldResult {
 /// Everything measured for one (algorithm, n, engine) run.
 struct RunResult {
   std::string algorithm;
-  std::string engine;  ///< to_string(policy): "seq" or "par:N"
+  std::string engine;   ///< to_string(policy): "seq" or "par:N"
+  std::string backend;  ///< to_string(kind): "simulate" | "cost" | "record"
   std::uint64_t n = 0;
   unsigned log_v = 0;
   std::uint64_t supersteps = 0;
@@ -121,12 +129,18 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result);
 void print_campaign_text(std::ostream& os, const CampaignResult& result);
 
 /// Structural validation of a result document: schema version, required
-/// keys, cell shape, and cross-engine conformance (runs of the same
-/// algorithm and n must report identical H cells under every engine — the
-/// bit-identical-engines guarantee, checked end to end). Returns
-/// human-readable violations; empty = valid.
+/// keys, cell shape, and cross-engine/cross-backend conformance (runs of
+/// the same algorithm and n must report identical H cells under every
+/// engine AND every backend — the bit-identical guarantee of the Program
+/// API, checked end to end). Returns human-readable violations; empty =
+/// valid.
 [[nodiscard]] std::vector<std::string> validate_campaign_json(
     const JsonValue& doc);
+
+/// Machine-readable registry dump for `nobl list --json`: schema version,
+/// every AlgoEntry (name, summary, source, size_rule, bench/smoke sweeps,
+/// max_sweep_size, supported backends) and the builtin campaign names.
+void write_registry_json(std::ostream& os);
 
 /// Threshold gate for CI. The thresholds document looks like:
 ///

@@ -41,17 +41,45 @@ int usage_error(const std::string& message, const std::string& help_hint) {
   return buffer.str();
 }
 
-/// Common flag set shared by run/certify/trace: campaign selection.
+/// Common flag set shared by run/certify/trace: campaign selection plus an
+/// optional backend override.
 struct CampaignArgs {
   std::string campaign;  ///< builtin name
   std::string spec;      ///< path to a spec file
+  std::string backend;   ///< --backend override (simulate | cost | record)
 };
 
 [[nodiscard]] CampaignSpec resolve_campaign(const CampaignArgs& args) {
-  if (!args.spec.empty()) return parse_campaign_spec(read_file(args.spec));
-  if (!args.campaign.empty()) return builtin_campaign(args.campaign);
-  throw std::invalid_argument("no campaign selected: pass --campaign NAME or "
-                              "--spec FILE");
+  CampaignSpec spec;
+  if (!args.spec.empty()) {
+    spec = parse_campaign_spec(read_file(args.spec));
+  } else if (!args.campaign.empty()) {
+    spec = builtin_campaign(args.campaign);
+  } else {
+    throw std::invalid_argument("no campaign selected: pass --campaign NAME "
+                                "or --spec FILE");
+  }
+  if (!args.backend.empty()) {
+    // Comma-separated override, e.g. --backend simulate,cost — running
+    // several backends in ONE document lets `nobl check` enforce the
+    // cross-backend bit-identity rule on the result.
+    spec.backends.clear();
+    std::string::size_type start = 0;
+    while (start <= args.backend.size()) {
+      const auto comma = args.backend.find(',', start);
+      const std::string name = args.backend.substr(
+          start, (comma == std::string::npos ? args.backend.size() : comma) -
+                     start);
+      if (name.empty()) {
+        throw std::invalid_argument("--backend: empty entry in \"" +
+                                    args.backend + "\"");
+      }
+      spec.backends.push_back(backend_from_string(name));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return spec;
 }
 
 void print_run_help() {
@@ -65,6 +93,13 @@ Usage:
 Options:
   --json FILE     write the schema-versioned result JSON to FILE ("-" = stdout)
   --text          print human-readable tables (default unless --json is given)
+  --backend B     override the campaign's backend matrix with B, a comma-
+                  separated subset of: simulate (the full M(v) machine),
+                  cost (degree accounting only — no payloads, no delivery,
+                  no inboxes), record (capture + replay the communication
+                  schedule). Traces are backend-invariant — running e.g.
+                  --backend simulate,cost makes `nobl check` enforce that
+                  bit-identity inside the one result document
   --thresholds F  after the run, gate the results on the thresholds file F
                   (exit 1 on any violation) — the one-shot form of the CI
                   `nobl run` + `nobl check` pair
@@ -75,6 +110,7 @@ Builtin campaigns: ci-smoke, golden, bench (see `nobl list`).
 
 Examples:
   nobl run --campaign ci-smoke --json out.json
+  nobl run --campaign ci-smoke --backend cost --json out.json
   nobl run --campaign ci-smoke --json out.json --thresholds bench/thresholds/ci-smoke.json
   nobl run --spec nightly.campaign --text
 )";
@@ -101,6 +137,8 @@ int cmd_run(const std::vector<std::string>& args) {
       campaign_args.campaign = next();
     } else if (arg == "--spec") {
       campaign_args.spec = next();
+    } else if (arg == "--backend") {
+      campaign_args.backend = next();
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--thresholds") {
@@ -160,6 +198,9 @@ Usage:
 
 Options:
   --json FILE   also write the full result document ("-" = stdout)
+  --backend B   certify under one backend: simulate | cost | record. Cost is
+                the natural choice — verdicts are pure trace queries, and the
+                cost backend never materializes a message
   --quiet       suppress progress lines on stderr
   --help        this text
 )";
@@ -184,6 +225,8 @@ int cmd_certify(const std::vector<std::string>& args) {
       campaign_args.campaign = next();
     } else if (arg == "--spec") {
       campaign_args.spec = next();
+    } else if (arg == "--backend") {
+      campaign_args.backend = next();
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--quiet") {
@@ -198,8 +241,8 @@ int cmd_certify(const std::vector<std::string>& args) {
       run_campaign(spec, quiet ? nullptr : &std::cerr);
 
   Table verdicts("certification per run (Thm 3.4 at the top swept fold)",
-                 {"algorithm", "n", "engine", "alpha", "gamma", "beta_min",
-                  "guarantee", "folding (L3.1)"});
+                 {"algorithm", "n", "engine", "backend", "alpha", "gamma",
+                  "beta_min", "guarantee", "folding (L3.1)"});
   for (const RunResult& run : result.runs) {
     bool folding = true;
     for (unsigned log_p = 1; log_p <= run.log_v; ++log_p) {
@@ -209,6 +252,7 @@ int cmd_certify(const std::vector<std::string>& args) {
         .add(run.algorithm)
         .add(run.n)
         .add(run.engine)
+        .add(run.backend)
         .add(run.certification.alpha)
         .add(run.certification.gamma)
         .add(run.certification.beta_min)
@@ -297,7 +341,10 @@ int cmd_trace(const std::vector<std::string>& args) {
 
   if (!export_dir.empty()) {
     CampaignSpec spec = resolve_campaign(campaign_args);
-    spec.engines = {spec.engines.front()};  // traces are engine-invariant
+    // Traces are engine- and backend-invariant: one (engine, backend) cell
+    // pins every other.
+    spec.engines = {spec.engines.front()};
+    spec.backends = {spec.backends.front()};
     const CampaignResult result =
         run_campaign(spec, quiet ? nullptr : &std::cerr);
     std::filesystem::create_directories(export_dir);
@@ -377,7 +424,9 @@ Usage:
   nobl list [--json]
 
 Options:
-  --json    machine-readable listing on stdout
+  --json    machine-readable listing on stdout (name, source, size_rule,
+            sweeps, max_sweep_size, supported backends per algorithm, plus
+            the builtin campaign names)
   --help    this text
 )";
 }
@@ -395,35 +444,12 @@ int cmd_list(const std::vector<std::string>& args) {
     }
   }
 
-  const auto& entries = AlgoRegistry::instance().entries();
   if (json) {
-    JsonWriter w(std::cout);
-    w.begin_object();
-    w.key("schema_version").value(kResultSchemaVersion);
-    w.key("algorithms").begin_array();
-    for (const AlgoEntry& entry : entries) {
-      w.begin_object();
-      w.key("name").value(entry.name);
-      w.key("summary").value(entry.summary);
-      w.key("source").value(entry.source);
-      w.key("size_rule").value(entry.size_rule);
-      w.key("bench_sizes").begin_array();
-      for (const auto size : entry.bench_sizes) w.value(size);
-      w.end_array();
-      w.key("smoke_sizes").begin_array();
-      for (const auto size : entry.smoke_sizes) w.value(size);
-      w.end_array();
-      w.end_object();
-    }
-    w.end_array();
-    w.key("campaigns").begin_array();
-    for (const auto& name : builtin_campaign_names()) w.value(name);
-    w.end_array();
-    w.end_object();
-    std::cout << '\n';
+    write_registry_json(std::cout);
     return 0;
   }
 
+  const auto& entries = AlgoRegistry::instance().entries();
   Table t("registered network-oblivious algorithms",
           {"name", "source", "sizes (smoke)", "summary"});
   for (const AlgoEntry& entry : entries) {
@@ -446,9 +472,10 @@ void print_check_help() {
       R"(nobl check — validate a result document, optionally gate on thresholds.
 
 Validation covers the schema (version, required keys, cell shape) and the
-cross-engine conformance rule: runs of the same (algorithm, n) must report
-identical H cells under every engine. With --thresholds, optimality ratios
-and certification minima are enforced on top (the CI regression gate).
+cross-engine/cross-backend conformance rule: runs of the same (algorithm, n)
+must report identical H cells under every engine and every backend. With
+--thresholds, optimality ratios and certification minima are enforced on top
+(the CI regression gate).
 
 Usage:
   nobl check --results FILE [--thresholds FILE]
@@ -511,7 +538,8 @@ void print_main_help() {
 Usage: nobl <subcommand> [options]
 
 Subcommands:
-  run      execute a campaign (algorithms x sizes x engines), emit text/JSON
+  run      execute a campaign (algorithms x sizes x backends x engines),
+           emit text/JSON
   certify  optimality/wiseness verdicts per Defs. 3.2/5.2 and Theorem 3.4
   trace    export / inspect / replay recorded traces (trace_io CSV)
   list     enumerate registered algorithms and builtin campaigns

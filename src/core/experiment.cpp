@@ -11,11 +11,11 @@ namespace nobl {
 
 std::vector<AlgoRun> make_runs(const std::vector<std::uint64_t>& sizes,
                                const PolicyRunner& runner,
-                               const ExecutionPolicy& policy) {
+                               const RunOptions& options) {
   std::vector<AlgoRun> runs;
   runs.reserve(sizes.size());
   for (const std::uint64_t n : sizes) {
-    runs.push_back(AlgoRun{n, runner(n, policy)});
+    runs.push_back(AlgoRun{n, runner(n, options)});
   }
   return runs;
 }

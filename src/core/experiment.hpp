@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/cost.hpp"
 #include "bsp/execution.hpp"
 #include "bsp/trace.hpp"
@@ -25,18 +26,20 @@ struct AlgoRun {
   Trace trace;
 };
 
-/// Executes one specification-model run of size n under the given engine
-/// and returns its trace (the algorithm entry points all accept an
-/// ExecutionPolicy as their trailing parameter).
+/// Executes one specification-model run of size n under the selected
+/// backend and engine (bsp/backend.hpp::RunOptions) and returns its trace.
+/// RunOptions converts implicitly from an ExecutionPolicy, so historical
+/// `runner(n, policy)` call sites read unchanged.
 using PolicyRunner =
-    std::function<Trace(std::uint64_t n, const ExecutionPolicy& policy)>;
+    std::function<Trace(std::uint64_t n, const RunOptions& options)>;
 
-/// Produce the AlgoRun series for a size sweep under one engine. This is the
-/// single seam through which benches and CLIs select the engine (typically
-/// via execution_policy_from_env(), see bsp/execution.hpp).
+/// Produce the AlgoRun series for a size sweep under one backend/engine.
+/// This is the single seam through which benches and CLIs select the
+/// execution stack (typically via execution_policy_from_env(), see
+/// bsp/execution.hpp).
 [[nodiscard]] std::vector<AlgoRun> make_runs(
     const std::vector<std::uint64_t>& sizes, const PolicyRunner& runner,
-    const ExecutionPolicy& policy = ExecutionPolicy::sequential());
+    const RunOptions& options = {});
 
 /// Closed-form cost formula (n, p, σ) -> value.
 using CostFormula =

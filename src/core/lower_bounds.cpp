@@ -62,6 +62,23 @@ double transpose(std::uint64_t n, std::uint64_t p, double sigma) {
   return (dn(n) / dn(p)) * (1.0 - 1.0 / dn(p)) + sigma;
 }
 
+double reduce(std::uint64_t p, double sigma) {
+  require(p >= 2, "lb::reduce: need p >= 2");
+  const double base = std::max(2.0, sigma);
+  return std::max(1.0, sigma) *
+         std::max(1.0, std::log2(dn(p)) / std::log2(base));
+}
+
+double gather(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 1, "lb::gather: need p >= 2, n >= 1");
+  return dn(n) * (1.0 - 1.0 / dn(p)) + sigma;
+}
+
+double shift(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(p >= 2 && n >= 1, "lb::shift: need p >= 2, n >= 1");
+  return dn(n) / dn(p) + sigma;
+}
+
 double broadcast_cost_at_rounds(double t, std::uint64_t p, double sigma) {
   require(p >= 2 && t >= 1.0, "lb::broadcast_cost_at_rounds: bad arguments");
   return t * (std::max(2.0, sigma) + std::pow(dn(p), 1.0 / t));

@@ -51,6 +51,21 @@ namespace lb {
 /// superstep of latency: Ω((n/p)(1 - 1/p) + σ).
 [[nodiscard]] double transpose(std::uint64_t n, std::uint64_t p, double sigma);
 
+/// n-reduction: the dependence-chain dual of Theorem 4.15 — the result
+/// depends on all p processors' data and each superstep can at most
+/// multiply the informed set by its fanin, Ω(max{1,σ} · log_{max{2,σ}} p).
+/// (Constant 1, not 2: a reduction moves each partial once, where the
+/// gather/scatter argument of lb::broadcast/lb::scan pays both directions.)
+[[nodiscard]] double reduce(std::uint64_t p, double sigma);
+
+/// Flat n-gather: processor 0 must receive all n − n/p foreign values, plus
+/// one superstep of latency: Ω(n·(1 − 1/p) + σ).
+[[nodiscard]] double gather(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Cyclic n/2-shift: every processor must ship all n/p of its values (none
+/// stay local at any fold), plus one superstep: Ω(n/p + σ).
+[[nodiscard]] double shift(std::uint64_t n, std::uint64_t p, double sigma);
+
 /// Theorem 4.16: lower bound on GAP_A(n,p,σ1,σ2) for *any* network-oblivious
 /// broadcast: Ω(log max{2,σ2} / (log max{2,σ1} + log log max{2,σ2})).
 [[nodiscard]] double broadcast_gap(double sigma1, double sigma2);

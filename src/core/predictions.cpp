@@ -102,6 +102,24 @@ double transpose(std::uint64_t n, std::uint64_t p, double sigma) {
   return h + sigma * dn(levels);
 }
 
+double reduce(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
+          "predict::reduce: need 2 <= p <= n, powers of two");
+  return dn(log2_exact(p)) * (1.0 + sigma);
+}
+
+double gather(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
+          "predict::gather: need 2 <= p <= n, powers of two");
+  return dn(n) * (1.0 - 1.0 / dn(p)) + sigma;
+}
+
+double shift(std::uint64_t n, std::uint64_t p, double sigma) {
+  require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
+          "predict::shift: need 2 <= p <= n, powers of two");
+  return dn(n) / dn(p) + sigma;
+}
+
 double samplesort(std::uint64_t n, std::uint64_t p, double sigma) {
   require(is_pow2(n) && is_pow2(p) && p >= 2 && p <= n,
           "predict::samplesort: need 2 <= p <= n, powers of two");

@@ -64,5 +64,17 @@ namespace predict {
 /// all-to-all + offset scan + placement, each term counted at fold p.
 [[nodiscard]] double samplesort(std::uint64_t n, std::uint64_t p, double sigma);
 
+/// Full-machine tree reduction (the upsweep half of scan): exactly one
+/// degree-1 superstep per label below log p, so H = log p · (1 + σ) — exact.
+[[nodiscard]] double reduce(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Flat gather at VP 0: one 0-superstep in which processor 0 receives every
+/// foreign value, H = n·(1 − 1/p) + σ — exact at every fold.
+[[nodiscard]] double gather(std::uint64_t n, std::uint64_t p, double sigma);
+
+/// Cyclic shift by n/2: one 0-superstep in which every value crosses at
+/// every fold, H = n/p + σ — exact at every fold.
+[[nodiscard]] double shift(std::uint64_t n, std::uint64_t p, double sigma);
+
 }  // namespace predict
 }  // namespace nobl

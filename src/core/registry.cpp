@@ -1,12 +1,16 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+#include <complex>
 #include <stdexcept>
+#include <utility>
 
 #include "algorithms/bitonic.hpp"
 #include "algorithms/broadcast.hpp"
 #include "algorithms/fft.hpp"
 #include "algorithms/matmul.hpp"
 #include "algorithms/matmul_space.hpp"
+#include "algorithms/primitives.hpp"
 #include "algorithms/samplesort.hpp"
 #include "algorithms/scan.hpp"
 #include "algorithms/sort.hpp"
@@ -31,6 +35,36 @@ bool square_pow2_size(std::uint64_t n) {
 }
 
 }  // namespace
+
+bool AlgoEntry::supports(BackendKind kind) const {
+  return std::find(backends.begin(), backends.end(), kind) != backends.end();
+}
+
+std::uint64_t AlgoEntry::nearest_admissible(std::uint64_t n) const {
+  std::uint64_t best = 0;
+  auto distance = [n](std::uint64_t candidate) {
+    return candidate > n ? candidate - n : n - candidate;
+  };
+  for (std::uint64_t candidate = 1; candidate <= max_sweep_size;
+       candidate *= 2) {
+    if (admits(candidate) &&
+        (best == 0 || distance(candidate) < distance(best))) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string AlgoEntry::inadmissible_message(std::uint64_t n) const {
+  std::string message = name + ": n = " + std::to_string(n) +
+                        " is inadmissible (" + size_rule;
+  const std::uint64_t nearest = nearest_admissible(n);
+  if (nearest != 0) {
+    message += "; nearest admissible n = " + std::to_string(nearest);
+  }
+  message += ")";
+  return message;
+}
 
 const AlgoRegistry& AlgoRegistry::instance() {
   static const AlgoRegistry registry;
@@ -57,6 +91,25 @@ const AlgoEntry& AlgoRegistry::at(const std::string& name) const {
 }
 
 void AlgoRegistry::add(AlgoEntry entry) {
+  // Uniform admissibility gate in front of every runner: an inadmissible n
+  // (or unsupported backend) fails with the actionable registry message —
+  // offending n, size rule, nearest admissible size — instead of the
+  // kernel's bare invariant string.
+  PolicyRunner raw = std::move(entry.runner);
+  const std::size_t index = entries_.size();
+  entry.runner = [this, index, raw = std::move(raw)](
+                     std::uint64_t n, const RunOptions& options) {
+    const AlgoEntry& self = entries_[index];
+    if (!self.admits(n)) {
+      throw std::invalid_argument(self.inadmissible_message(n));
+    }
+    if (!self.supports(options.backend)) {
+      throw std::invalid_argument(self.name + ": backend \"" +
+                                  to_string(options.backend) +
+                                  "\" is not supported by this kernel");
+    }
+    return raw(n, options);
+  };
   entries_.push_back(std::move(entry));
 }
 
@@ -68,15 +121,13 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Thm 4.2",
        .size_rule = "n = m^2 elements, m a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             if (!square_pow2_size(n)) {
-               throw std::invalid_argument(
-                   "matmul: n must be m^2, m a power of two");
-             }
+           [](std::uint64_t n, const RunOptions& options) {
              const std::uint64_t m = sqrt_pow2(n);
-             return matmul_oblivious(random_matrix(m, m),
-                                     random_matrix(m, m + 1), true, policy)
-                 .trace;
+             const auto a = random_matrix(m, m);
+             const auto b = random_matrix(m, m + 1);
+             return run_for_trace<mm_detail::Msg<long>>(
+                 n, options,
+                 [&](auto& bk) { (void)matmul_program(bk, a, b, true); });
            },
        .predicted = predict::matmul,
        .lower_bound = lb::matmul,
@@ -90,16 +141,13 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.1.1",
        .size_rule = "n = m^2 elements, m a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             if (!square_pow2_size(n)) {
-               throw std::invalid_argument(
-                   "matmul-space: n must be m^2, m a power of two");
-             }
+           [](std::uint64_t n, const RunOptions& options) {
              const std::uint64_t m = sqrt_pow2(n);
-             return matmul_space_oblivious(random_matrix(m, m),
-                                           random_matrix(m, m + 1), true,
-                                           policy)
-                 .trace;
+             const auto a = random_matrix(m, m);
+             const auto b = random_matrix(m, m + 1);
+             return run_for_trace<mms_detail::Msg<long>>(
+                 n, options,
+                 [&](auto& bk) { (void)matmul_space_program(bk, a, b, true); });
            },
        .predicted = predict::matmul_space,
        .lower_bound = lb::matmul_space,
@@ -113,8 +161,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Thm 4.5",
        .size_rule = "n a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return fft_oblivious(random_signal(n, n), true, policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto signal = random_signal(n, n);
+             return run_for_trace<std::complex<double>>(
+                 n, options,
+                 [&](auto& bk) { (void)fft_program(bk, signal, true); });
            },
        .predicted = predict::fft,
        .lower_bound = lb::fft,
@@ -127,8 +178,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Thm 4.8",
        .size_rule = "n a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return sort_oblivious(random_keys(n, n), true, policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto keys = random_keys(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)sort_program(bk, keys, true); });
            },
        .predicted = predict::sort,
        .lower_bound = lb::sort,
@@ -142,8 +196,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.3",
        .size_rule = "n a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return bitonic_sort_oblivious(random_keys(n, n), policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto keys = random_keys(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)bitonic_sort_program(bk, keys); });
            },
        .predicted = bitonic_predicted,
        .lower_bound = lb::sort,
@@ -157,10 +214,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Thm 4.11",
        .size_rule = "rod length n, a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return stencil1_oblivious(random_rod(n, n), heat_rule, true, 0,
-                                       policy)
-                 .trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto rod = random_rod(n, n);
+             return run_for_trace<double>(n, options, [&](auto& bk) {
+               (void)stencil1_program(bk, rod, heat_rule, true, 0);
+             });
            },
        .predicted = predict::stencil1,
        .lower_bound =
@@ -177,8 +235,10 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Thm 4.13",
        .size_rule = "grid side n, a power of two >= 2 (v = n^2)",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return stencil2_oblivious_schedule(n, true, 0, policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             return run_for_trace<std::uint8_t>(
+                 n * n, options,
+                 [&](auto& bk) { (void)stencil2_program(bk, n, true, 0); });
            },
        .predicted = predict::stencil2,
        .lower_bound =
@@ -195,8 +255,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.5 dual / Sec 5",
        .size_rule = "n a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return scan_oblivious(random_addends(n, n), policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto addends = random_addends(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)scan_program(bk, addends); });
            },
        .predicted = predict::scan,
        .lower_bound =
@@ -212,13 +275,12 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.2 building block",
        .size_rule = "n = m^2 elements, m a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             if (!square_pow2_size(n)) {
-               throw std::invalid_argument(
-                   "transpose: n must be m^2, m a power of two");
-             }
+           [](std::uint64_t n, const RunOptions& options) {
              const std::uint64_t m = sqrt_pow2(n);
-             return transpose_oblivious(random_matrix(m, m), policy).trace;
+             const auto a = random_matrix(m, m);
+             return run_for_trace<long>(
+                 n, options,
+                 [&](auto& bk) { (void)transpose_program(bk, a); });
            },
        .predicted = predict::transpose,
        .lower_bound = lb::transpose,
@@ -231,8 +293,11 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.3 ablation",
        .size_rule = "n a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return samplesort_oblivious(random_keys(n, n), policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto keys = random_keys(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)samplesort_program(bk, keys); });
            },
        .predicted = predict::samplesort,
        .lower_bound = lb::sort,
@@ -246,8 +311,10 @@ AlgoRegistry::AlgoRegistry() {
        .source = "Sec 4.5 / Thm 4.16",
        .size_rule = "n = v processors, a power of two",
        .runner =
-           [](std::uint64_t n, const ExecutionPolicy& policy) {
-             return broadcast_oblivious(n, 2, 1, policy).trace;
+           [](std::uint64_t n, const RunOptions& options) {
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)broadcast_program(bk, 2, 1); });
            },
        .predicted =
            [](std::uint64_t, std::uint64_t p, double sigma) {
@@ -258,6 +325,60 @@ AlgoRegistry::AlgoRegistry() {
              return lb::broadcast(p, sigma);
            },
        .bench_sizes = {64, 1024, 4096},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+
+  add({.name = "reduce",
+       .summary = "full-machine tree reduction (scan's upsweep, exact H)",
+       .source = "Sec 4.5 dual",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto addends = random_addends(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)reduce_program(bk, addends); });
+           },
+       .predicted = predict::reduce,
+       .lower_bound =
+           [](std::uint64_t, std::uint64_t p, double sigma) {
+             return lb::reduce(p, sigma);
+           },
+       .bench_sizes = {64, 1024, 16384},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+
+  add({.name = "gather",
+       .summary = "flat gather at VP 0 (maximally unbalanced, exact H)",
+       .source = "Sec 4.5 counterpoint",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto values = random_keys(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)gather_program(bk, values); });
+           },
+       .predicted = predict::gather,
+       .lower_bound = lb::gather,
+       .bench_sizes = {64, 4096, 65536},
+       .smoke_sizes = {64, 1024},
+       .validate = pow2_size});
+
+  add({.name = "shift",
+       .summary = "cyclic n/2-shift (maximally balanced all-cross, exact H)",
+       .source = "Sec 2 folding",
+       .size_rule = "n a power of two",
+       .runner =
+           [](std::uint64_t n, const RunOptions& options) {
+             const auto values = random_keys(n, n);
+             return run_for_trace<std::uint64_t>(
+                 n, options,
+                 [&](auto& bk) { (void)shift_program(bk, values); });
+           },
+       .predicted = predict::shift,
+       .lower_bound = lb::shift,
+       .bench_sizes = {64, 4096, 65536},
        .smoke_sizes = {64, 1024},
        .validate = pow2_size});
 }

@@ -3,23 +3,32 @@
 // Every algorithm entry point under src/algorithms/ registers here with
 //
 //   * a PolicyRunner executing one specification-model run of size n under a
-//     chosen engine (inputs generated deterministically from n, see
-//     core/workloads.hpp — traces are input-oblivious for every kernel
-//     except sample-sort, whose routing degrees the fixed seed pins),
+//     chosen backend and engine (bsp/backend.hpp::RunOptions — inputs are
+//     generated deterministically from n, see core/workloads.hpp; traces are
+//     input-oblivious for every kernel except sample-sort, whose routing
+//     degrees the fixed seed pins),
 //   * its closed-form predicted cost (Section 4 upper bounds) and the
 //     matching lower bound, both as CostFormula (n, p, σ) -> value,
-//   * the size sweeps its bench and the CI smoke campaign use.
+//   * the size sweeps its bench and the CI smoke campaign use,
+//   * the backends it supports (every kernel is a Program, so all three:
+//     simulate / cost / record).
 //
 // The bench binaries, the `nobl` CLI and the campaign runner all pull
 // runners and formulas from here instead of re-declaring them, so adding an
 // algorithm in one place makes it visible to `nobl list`, `nobl run`,
 // `nobl certify`, the benches, and the conformance tests at once.
+//
+// Admissibility: AlgoRegistry::add wraps every runner so that an
+// inadmissible n fails with one uniform, actionable message — the offending
+// n, the size rule, and the nearest admissible size — instead of each
+// kernel's bare invariant string (the historical admits()/runner asymmetry).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "core/experiment.hpp"
 #include "core/optimality.hpp"
 
@@ -51,6 +60,23 @@ struct AlgoEntry {
   /// n x n grid, samplesort a Θ(n^{3/2})-message exchange, matmul a
   /// Θ(n^{4/3}) replication) override the linear-kernel default downward.
   std::uint64_t max_sweep_size = std::uint64_t{1} << 22;
+
+  /// Backends this kernel's program runs under (all registered kernels are
+  /// Programs, so this defaults to the full set).
+  std::vector<BackendKind> backends = all_backend_kinds();
+
+  /// True iff the entry supports `kind`.
+  [[nodiscard]] bool supports(BackendKind kind) const;
+
+  /// The admissible size nearest to n (0 when none exists at or below
+  /// max_sweep_size). Admissible sizes are scanned over powers of two —
+  /// every registered size rule admits only powers of two.
+  [[nodiscard]] std::uint64_t nearest_admissible(std::uint64_t n) const;
+
+  /// "<name>: n = N is inadmissible (<size_rule>; nearest admissible
+  /// n = M)" — the uniform, actionable error body used by the runner
+  /// wrapper and the campaign parser.
+  [[nodiscard]] std::string inadmissible_message(std::uint64_t n) const;
 };
 
 class AlgoRegistry {

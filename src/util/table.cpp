@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -54,7 +55,17 @@ std::string Table::format_double(double value) {
   return buf;
 }
 
-Table& Table::add(double value) { return add(format_double(value)); }
+Table& Table::add(double value) {
+  add(format_double(value));
+  if (!std::isfinite(value)) {
+    // The text renderer prints "nan"/"inf", but JSON has no spelling for
+    // non-finite numbers: remember the cell so print_json emits null
+    // instead of a token no parser (including ours) would accept.
+    non_finite_cells_.emplace_back(cells_.size() - 1,
+                                   cells_.back().size() - 1);
+  }
+  return *this;
+}
 
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
@@ -109,10 +120,18 @@ void Table::print_json(std::ostream& os) const {
   w.key("headers").begin_array();
   for (const auto& h : headers_) w.value(h);
   w.end_array();
+  const std::set<std::pair<std::size_t, std::size_t>> non_finite(
+      non_finite_cells_.begin(), non_finite_cells_.end());
   w.key("rows").begin_array();
-  for (const auto& row : cells_) {
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
     w.begin_array();
-    for (const auto& cell : row) w.value(cell);
+    for (std::size_t c = 0; c < cells_[r].size(); ++c) {
+      if (non_finite.contains({r, c})) {
+        w.null();
+      } else {
+        w.value(cells_[r][c]);
+      }
+    }
     w.end_array();
   }
   w.end_array();

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nobl {
@@ -41,7 +42,9 @@ class Table {
   ///   {"schema_version": 1, "title": ..., "headers": [...],
   ///    "rows": [[cell, ...], ...]}
   /// Cells are emitted as the same formatted strings the text renderer
-  /// prints, so the two views of one table always agree.
+  /// prints, so the two views of one table always agree — except non-finite
+  /// double cells ("nan"/"inf"/"-inf" in the text view), which JSON cannot
+  /// represent as numbers and which are therefore emitted as null.
   void print_json(std::ostream& os) const;
 
   /// Schema version stamped by print_json (bump on layout changes).
@@ -62,6 +65,9 @@ class Table {
   std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> cells_;
+  /// (row, column) of every cell added as a non-finite double: those render
+  /// as "nan"/"inf" text but must serialize as JSON null.
+  std::vector<std::pair<std::size_t, std::size_t>> non_finite_cells_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Table& table);

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "bsp/backend.hpp"
 #include "bsp/cost.hpp"
 #include "bsp/degree_reference.hpp"
 #include "bsp/trace.hpp"
@@ -43,6 +45,26 @@ inline void expect_trace_matches_reference(
     EXPECT_EQ(got.degree, want.degree) << "superstep " << k;
     EXPECT_EQ(got.messages, want.messages) << "superstep " << k;
   }
+}
+
+/// Convert a RecordBackend capture into the ExpectedStep form, so a
+/// program's recorded schedule can be verified against the
+/// ReferenceDegreeAccumulator oracle exactly like a hand-written mirror:
+/// recording a kernel once subsumes maintaining an ad-hoc per-kernel
+/// schedule mirror (the mirrors that remain are *independent* oracles).
+inline std::vector<ExpectedStep> schedule_to_expected(
+    const Schedule& schedule) {
+  std::vector<ExpectedStep> out;
+  out.reserve(schedule.steps.size());
+  for (const ScheduleStep& step : schedule.steps) {
+    ExpectedStep expected;
+    expected.label = step.label;
+    for (const ScheduleSend& send : step.sends) {
+      expected.messages.emplace_back(send.src, send.dst, send.count);
+    }
+    out.push_back(std::move(expected));
+  }
+  return out;
 }
 
 /// The memoized O(1) queries (S/F/total_F/total_S, and H built from them)

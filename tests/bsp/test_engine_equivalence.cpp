@@ -27,6 +27,7 @@
 #include "algorithms/sort.hpp"
 #include "algorithms/stencil1d.hpp"
 #include "algorithms/transpose.hpp"
+#include "bsp/backend.hpp"
 #include "bsp/execution.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
@@ -160,7 +161,53 @@ TEST(EngineEquivalence, EveryRegisteredKernelIsEngineInvariant) {
                          << ": no admissible size in the equivalence sweep";
     if (covered) ++kernels_covered;
   }
-  EXPECT_GE(kernels_covered, 11u);
+  EXPECT_GE(kernels_covered, 14u);
+}
+
+// ---- Backend matrix, driven by the registry. -----------------------------
+//
+// The Program API's contract: for every kernel, the CostBackend trace is
+// bit-identical to the SimulateBackend trace (same degree stream, no
+// payloads/delivery/inboxes), and the RecordBackend's captured schedule
+// replays to the same trace. Registering an algorithm buys this coverage.
+
+TEST(BackendEquivalence, EveryRegisteredKernelIsBackendInvariant) {
+  std::size_t kernels_covered = 0;
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    bool covered = false;
+    for (const std::uint64_t n : kMachineSizes) {
+      if (!entry.admits(n)) continue;
+      SCOPED_TRACE(entry.name + " n=" + std::to_string(n));
+      const Trace simulate = entry.runner(n, RunOptions{});
+      const Trace cost =
+          entry.runner(n, RunOptions{BackendKind::kCost});
+      expect_traces_identical(simulate, cost);
+      // The record runner returns the trace re-derived from its captured
+      // Schedule, so equality here pins the record -> replay round trip.
+      const Trace replayed =
+          entry.runner(n, RunOptions{BackendKind::kRecord});
+      expect_traces_identical(simulate, replayed);
+      covered = true;
+      if (simulate.v() >= 256) break;
+    }
+    EXPECT_TRUE(covered) << entry.name
+                         << ": no admissible size in the backend sweep";
+    if (covered) ++kernels_covered;
+  }
+  EXPECT_GE(kernels_covered, 14u);
+}
+
+TEST(BackendEquivalence, CostTraceMatchesParallelSimulateToo) {
+  // The backend x engine square commutes: cost (always a sequential driver)
+  // equals simulate under the parallel engine as well.
+  for (const char* name : {"matmul", "samplesort", "stencil1"}) {
+    const AlgoEntry& entry = AlgoRegistry::instance().at(name);
+    const std::uint64_t n = entry.smoke_sizes.front();
+    const Trace cost = entry.runner(n, RunOptions{BackendKind::kCost});
+    const Trace par =
+        entry.runner(n, RunOptions{ExecutionPolicy::parallel(3)});
+    expect_traces_identical(par, cost);
+  }
 }
 
 // ---- Output values, per kernel. ------------------------------------------

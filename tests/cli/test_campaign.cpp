@@ -66,8 +66,11 @@ TEST(CampaignSpec, BadSigmaGridNamesPosition) {
 }
 
 TEST(CampaignSpec, SizeRuleEnforcedAtParseTime) {
-  // 48 is not m^2 for a power-of-two m.
-  expect_parse_error("algorithms = matmul:48\n", "rejects n = 48");
+  // 48 is not m^2 for a power-of-two m. The error must be actionable: the
+  // offending n, the size rule, AND the nearest admissible size.
+  expect_parse_error("algorithms = matmul:48\n", "matmul: n = 48 is inadmissible");
+  expect_parse_error("algorithms = matmul:48\n", "n = m^2 elements");
+  expect_parse_error("algorithms = matmul:48\n", "nearest admissible n = 64");
   expect_parse_error("algorithms = matmul:48\n", "line 1");
 }
 
@@ -98,8 +101,14 @@ TEST(CampaignSpecFuzz, MalformedSweepLinesCarryPositions) {
   expect_parse_error("algorithms = stencil2:65536\n", "out of range");
   expect_parse_error("algorithms = stencil1:65536\n", "out of range");
   expect_parse_error("algorithms = samplesort:1048576\n", "out of range");
-  expect_parse_error("algorithms = transpose:32\n", "rejects n = 32");
-  expect_parse_error("algorithms = samplesort:96\n", "rejects n = 96");
+  expect_parse_error("algorithms = transpose:32\n",
+                     "transpose: n = 32 is inadmissible");
+  expect_parse_error("algorithms = transpose:32\n",
+                     "nearest admissible n = 16");
+  expect_parse_error("algorithms = samplesort:96\n",
+                     "samplesort: n = 96 is inadmissible");
+  expect_parse_error("algorithms = samplesort:96\n",
+                     "nearest admissible n = 64");
 }
 
 TEST(CampaignSpecFuzz, EngineEdgeCases) {
@@ -270,6 +279,75 @@ TEST(Thresholds, SchemaVersionGate) {
   const std::vector<std::string> violations = validate_campaign_json(wrong);
   ASSERT_FALSE(violations.empty());
   EXPECT_NE(violations[0].find("schema_version"), std::string::npos);
+}
+
+TEST(CampaignSpec, BackendsKeyParsed) {
+  const CampaignSpec spec = parse_campaign_spec(
+      "algorithms = fft\n"
+      "backends = simulate, cost, record\n");
+  ASSERT_EQ(spec.backends.size(), 3u);
+  EXPECT_EQ(spec.backends[0], BackendKind::kSimulate);
+  EXPECT_EQ(spec.backends[1], BackendKind::kCost);
+  EXPECT_EQ(spec.backends[2], BackendKind::kRecord);
+  // Default: simulate only.
+  EXPECT_EQ(parse_campaign_spec("algorithms = fft\n").backends,
+            (std::vector<BackendKind>{BackendKind::kSimulate}));
+  expect_parse_error("algorithms = fft\nbackends = gpu\n",
+                     "unknown backend \"gpu\"");
+  expect_parse_error("algorithms = fft\nbackends = gpu\n", "line 2");
+  expect_parse_error("algorithms = fft\nbackends = cost,\n",
+                     "empty backend entry");
+}
+
+TEST(CampaignRun, BackendMatrixProducesIdenticalCells) {
+  CampaignSpec spec;
+  spec.name = "backends";
+  spec.sweeps = {{"samplesort", {64}}};
+  spec.engines = {ExecutionPolicy::sequential(), ExecutionPolicy::parallel(2)};
+  spec.backends = {BackendKind::kSimulate, BackendKind::kCost,
+                   BackendKind::kRecord};
+  const CampaignResult result = run_campaign(spec);
+  // simulate runs once per engine; cost/record collapse the engine matrix
+  // (their driver is always sequential): 2 + 1 + 1 runs.
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.runs[0].backend, "simulate");
+  EXPECT_EQ(result.runs[2].backend, "cost");
+  EXPECT_EQ(result.runs[3].backend, "record");
+  for (const RunResult& run : result.runs) {
+    ASSERT_EQ(run.cells.size(), result.runs[0].cells.size());
+    for (std::size_t i = 0; i < run.cells.size(); ++i) {
+      EXPECT_EQ(run.cells[i].h, result.runs[0].cells[i].h)
+          << run.backend << " cell " << i;
+    }
+  }
+  // The document validates, including the cross-backend conformance rule.
+  std::ostringstream os;
+  write_campaign_json(os, result);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_TRUE(validate_campaign_json(doc).empty());
+  EXPECT_EQ(doc.at("backends").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("runs").as_array()[2].at("backend").as_string(), "cost");
+}
+
+TEST(CampaignRun, ValidatorCatchesBackendDivergence) {
+  CampaignSpec spec;
+  spec.name = "diverge";
+  spec.sweeps = {{"fft", {64}}};
+  spec.backends = {BackendKind::kSimulate, BackendKind::kCost};
+  const CampaignResult result = run_campaign(spec);
+  std::ostringstream os;
+  write_campaign_json(os, result);
+  std::string text = os.str();
+  // Corrupt one measured H of the cost run (the second half of the doc).
+  const std::size_t h_pos = text.find("\"h\": ", text.size() / 2);
+  ASSERT_NE(h_pos, std::string::npos);
+  text.insert(h_pos + 5, "9");
+  const std::vector<std::string> violations =
+      validate_campaign_json(JsonValue::parse(text));
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("bit-identical"), std::string::npos)
+      << violations[0];
+  EXPECT_NE(violations[0].find("cost"), std::string::npos) << violations[0];
 }
 
 TEST(CampaignText, RendersEveryRun) {

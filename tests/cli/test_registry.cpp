@@ -11,9 +11,13 @@
 #include "algorithms/fft.hpp"
 #include "algorithms/matmul.hpp"
 #include "algorithms/sort.hpp"
+#include "bsp/cost.hpp"
+#include "cli/campaign.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/predictions.hpp"
 #include "core/workloads.hpp"
+#include "util/bits.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace nobl {
@@ -21,10 +25,11 @@ namespace {
 
 TEST(Registry, CoversEveryAlgorithmFamily) {
   const auto& entries = AlgoRegistry::instance().entries();
-  EXPECT_GE(entries.size(), 11u);
+  EXPECT_GE(entries.size(), 14u);
   for (const char* name :
        {"matmul", "matmul-space", "fft", "sort", "bitonic", "stencil1",
-        "stencil2", "scan", "transpose", "samplesort", "broadcast"}) {
+        "stencil2", "scan", "transpose", "samplesort", "broadcast", "reduce",
+        "gather", "shift"}) {
     EXPECT_NE(AlgoRegistry::instance().find(name), nullptr) << name;
   }
 }
@@ -47,6 +52,11 @@ TEST(Registry, EntriesAreWellFormed) {
     for (const auto n : entry.smoke_sizes) {
       EXPECT_TRUE(entry.admits(n)) << entry.name << " smoke n=" << n;
       EXPECT_LE(n, entry.max_sweep_size) << entry.name << " smoke n=" << n;
+    }
+    // Every kernel is a Program: all three backends must be supported.
+    EXPECT_EQ(entry.backends.size(), 3u) << entry.name;
+    for (const BackendKind kind : all_backend_kinds()) {
+      EXPECT_TRUE(entry.supports(kind)) << entry.name;
     }
   }
 }
@@ -80,6 +90,84 @@ TEST(Registry, RunnersRejectBadSizes) {
   EXPECT_TRUE(registry.at("transpose").admits(64));
 }
 
+TEST(Registry, RunnerErrorsAreActionable) {
+  // The historical admits()/runner asymmetry: admits(48) said no, but the
+  // runner surfaced only the kernel's bare size rule. Every runner now
+  // fails with the offending n, the rule, and the nearest admissible size —
+  // under every backend.
+  const auto& registry = AlgoRegistry::instance();
+  for (const BackendKind kind : all_backend_kinds()) {
+    try {
+      (void)registry.at("matmul").runner(48, RunOptions{kind});
+      FAIL() << "expected invalid_argument under " << to_string(kind);
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("matmul: n = 48 is inadmissible"),
+                std::string::npos)
+          << message;
+      EXPECT_NE(message.find("n = m^2 elements"), std::string::npos);
+      EXPECT_NE(message.find("nearest admissible n = 64"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(registry.at("matmul").nearest_admissible(48), 64u);
+  EXPECT_EQ(registry.at("transpose").nearest_admissible(32), 16u);
+  EXPECT_EQ(registry.at("scan").nearest_admissible(3), 2u);  // tie -> smaller
+  EXPECT_EQ(registry.at("stencil2").nearest_admissible(1), 2u);
+}
+
+TEST(Registry, MachineReadableDumpCoversEveryEntry) {
+  // The `nobl list --json` document (write_registry_json): one object per
+  // registered algorithm with the fields CI scripts key on, plus the
+  // builtin campaign names — no more scraping the human table.
+  std::ostringstream os;
+  write_registry_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+  const auto& algorithms = doc.at("algorithms").as_array();
+  ASSERT_EQ(algorithms.size(), AlgoRegistry::instance().entries().size());
+  for (std::size_t k = 0; k < algorithms.size(); ++k) {
+    const JsonValue& algo = algorithms[k];
+    const AlgoEntry& entry = AlgoRegistry::instance().entries()[k];
+    EXPECT_EQ(algo.at("name").as_string(), entry.name);
+    EXPECT_EQ(algo.at("source").as_string(), entry.source);
+    EXPECT_EQ(algo.at("size_rule").as_string(), entry.size_rule);
+    EXPECT_EQ(algo.at("max_sweep_size").as_number(),
+              static_cast<double>(entry.max_sweep_size));
+    ASSERT_EQ(algo.at("bench_sizes").as_array().size(),
+              entry.bench_sizes.size());
+    ASSERT_EQ(algo.at("smoke_sizes").as_array().size(),
+              entry.smoke_sizes.size());
+    const auto& backends = algo.at("backends").as_array();
+    ASSERT_EQ(backends.size(), entry.backends.size());
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+      EXPECT_EQ(backends[b].as_string(), to_string(entry.backends[b]));
+    }
+  }
+  const auto& campaigns = doc.at("campaigns").as_array();
+  ASSERT_FALSE(campaigns.empty());
+  EXPECT_EQ(campaigns[0].as_string(), "ci-smoke");
+}
+
+TEST(Registry, PrimitiveKernelsAreExactAtEveryFold) {
+  // reduce / gather / shift are the calibration kernels: measured H must
+  // equal the closed form exactly at every fold and σ, under the cost
+  // backend (the backend the sweeps run on).
+  for (const char* name : {"reduce", "gather", "shift"}) {
+    const AlgoEntry& entry = AlgoRegistry::instance().at(name);
+    for (const std::uint64_t n : {16u, 64u}) {
+      const Trace trace = entry.runner(n, RunOptions{BackendKind::kCost});
+      for (std::uint64_t p = 2; p <= n; p *= 2) {
+        for (const double sigma : {0.0, 1.0, 7.5}) {
+          EXPECT_DOUBLE_EQ(
+              communication_complexity(trace, log2_exact(p), sigma),
+              entry.predicted(n, p, sigma))
+              << name << " n=" << n << " p=" << p << " sigma=" << sigma;
+        }
+      }
+    }
+  }
+}
+
 std::string rendered(const Table& table) {
   std::ostringstream os;
   table.print(os);
@@ -88,8 +176,9 @@ std::string rendered(const Table& table) {
 
 // The historical bench_fft::build_runs, verbatim.
 std::vector<AlgoRun> legacy_fft_runs(const std::vector<std::uint64_t>& sizes) {
-  return make_runs(sizes, [](std::uint64_t n, const ExecutionPolicy& policy) {
-    return fft_oblivious(workloads::random_signal(n, n), true, policy).trace;
+  return make_runs(sizes, [](std::uint64_t n, const RunOptions& options) {
+    return fft_oblivious(workloads::random_signal(n, n), true, options.policy)
+        .trace;
   });
 }
 

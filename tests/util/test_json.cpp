@@ -203,5 +203,44 @@ TEST(TableJson, SchemaVersionedAndEscaped) {
             Table::format_double(1.25));
 }
 
+TEST(TableJson, NonFiniteDoublesSerializeAsNull) {
+  // Regression: a table holding NaN/Inf cells must still emit valid JSON —
+  // the text renderer's "nan"/"inf" spellings are not JSON tokens, so the
+  // serialized document replaces them with null (and every other cell,
+  // including string cells that happen to SPELL "nan", stays untouched).
+  Table t("non-finite", {"label", "value"});
+  t.row().add("quiet-nan").add(std::numeric_limits<double>::quiet_NaN());
+  t.row().add("pos-inf").add(std::numeric_limits<double>::infinity());
+  t.row().add("neg-inf").add(-std::numeric_limits<double>::infinity());
+  t.row().add("nan").add(0.5);  // a *string* cell spelled "nan"
+  std::ostringstream os;
+  t.print_json(os);
+  const JsonValue v = JsonValue::parse(os.str());  // must not throw
+  const auto& rows = v.at("rows").as_array();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[0].as_array()[1].is_null());
+  EXPECT_TRUE(rows[1].as_array()[1].is_null());
+  EXPECT_TRUE(rows[2].as_array()[1].is_null());
+  EXPECT_EQ(rows[3].as_array()[0].as_string(), "nan");
+  EXPECT_EQ(rows[3].as_array()[1].as_string(), "0.5");
+  // The document contains no bare non-finite token anywhere.
+  EXPECT_EQ(os.str().find(": nan"), std::string::npos);
+  EXPECT_EQ(os.str().find(": inf"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoubleValueIsNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_TRUE(v.as_array()[0].is_null());
+  EXPECT_TRUE(v.as_array()[1].is_null());
+  EXPECT_EQ(v.as_array()[2].as_number(), 1.5);
+}
+
 }  // namespace
 }  // namespace nobl
