@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to files in the repository.
+
+Usage:
+    python3 scripts/check_markdown_links.py [FILE.md ...]
+
+With no arguments, checks every tracked *.md file (via `git ls-files`).
+External links (http/https/mailto) are not fetched; anchors are stripped.
+Exit 1 listing every broken link. The CI docs job runs this over the repo.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def tracked_markdown():
+    out = subprocess.run(["git", "ls-files", "*.md"], capture_output=True,
+                         text=True, check=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            broken.append((match.group(1), resolved))
+    return broken
+
+
+def main():
+    files = sys.argv[1:] or tracked_markdown()
+    failures = 0
+    for path in files:
+        for link, resolved in check_file(path):
+            sys.stderr.write(
+                "{}: broken link {} (resolved to {})\n".format(
+                    path, link, resolved))
+            failures += 1
+    if failures:
+        sys.stderr.write("{} broken link(s)\n".format(failures))
+        return 1
+    print("markdown links OK ({} file(s))".format(len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

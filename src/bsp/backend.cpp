@@ -10,6 +10,8 @@ std::string to_string(BackendKind kind) {
       return "cost";
     case BackendKind::kRecord:
       return "record";
+    case BackendKind::kAnalytic:
+      return "analytic";
   }
   return "unknown";
 }
@@ -18,13 +20,16 @@ BackendKind backend_from_string(const std::string& name) {
   if (name == "simulate" || name == "sim") return BackendKind::kSimulate;
   if (name == "cost") return BackendKind::kCost;
   if (name == "record") return BackendKind::kRecord;
-  throw std::invalid_argument("unknown backend \"" + name +
-                              "\" (expected simulate | cost | record)");
+  if (name == "analytic") return BackendKind::kAnalytic;
+  throw std::invalid_argument(
+      "unknown backend \"" + name +
+      "\" (expected simulate | cost | record | analytic)");
 }
 
 const std::vector<BackendKind>& all_backend_kinds() {
   static const std::vector<BackendKind> kinds{
-      BackendKind::kSimulate, BackendKind::kCost, BackendKind::kRecord};
+      BackendKind::kSimulate, BackendKind::kCost, BackendKind::kRecord,
+      BackendKind::kAnalytic};
   return kinds;
 }
 

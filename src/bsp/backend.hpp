@@ -63,9 +63,17 @@
 namespace nobl {
 
 /// Backend selector carried by CLIs, campaign specs and registry runners.
-enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord };
+///
+/// kAnalytic is the cost-optimizer path (core/analytic.hpp): registry
+/// runners answer it without executing the program — symbolically for
+/// kernels whose closed form is exact, via a memoized record-once /
+/// replay-many schedule cache for the other input-independent kernels, and
+/// by falling back to kCost for data-dependent kernels (samplesort). It is
+/// dispatched in the registry layer; run_for_trace itself rejects it
+/// because a bare program carries no closed form.
+enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord, kAnalytic };
 
-/// "simulate" | "cost" | "record".
+/// "simulate" | "cost" | "record" | "analytic".
 [[nodiscard]] std::string to_string(BackendKind kind);
 
 /// Inverse of to_string; throws std::invalid_argument listing the valid
@@ -75,6 +83,8 @@ enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord };
 /// Every backend, in declaration order (registry entries default to this).
 [[nodiscard]] const std::vector<BackendKind>& all_backend_kinds();
 
+struct Schedule;
+
 /// How to execute one specification-model run: which backend interprets the
 /// program, and (for the simulating backend) which engine drives VP bodies.
 /// Implicitly constructible from an ExecutionPolicy so historical
@@ -82,6 +92,10 @@ enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord };
 struct RunOptions {
   ExecutionPolicy policy{};
   BackendKind backend = BackendKind::kSimulate;
+  /// When non-null and backend == kRecord, run_for_trace copies the
+  /// captured Schedule here — the seam the analytic memo cache uses to
+  /// lift a kernel's communication pattern out of one recorded run.
+  Schedule* capture = nullptr;
 
   RunOptions() = default;
   // NOLINTNEXTLINE(runtime/explicit): deliberate converting constructor
@@ -387,8 +401,16 @@ template <typename Payload, typename ProgramFn>
     case BackendKind::kRecord: {
       RecordBackend backend(v);
       program(backend);
+      if (options.capture != nullptr) *options.capture = backend.schedule();
       return backend.schedule().replay_trace();
     }
+    case BackendKind::kAnalytic:
+      // Only the registry layer can answer analytically: it knows the
+      // kernel's closed form and input-independence flag. A bare program
+      // reaching this point is a plumbing error, not a user error.
+      throw std::invalid_argument(
+          "run_for_trace: the analytic backend is dispatched by the "
+          "algorithm registry (core/analytic.hpp), not by run_for_trace");
     case BackendKind::kSimulate:
     default: {
       SimulateBackend<Payload> backend(v, options.policy);

@@ -612,6 +612,11 @@ void write_registry_json(std::ostream& os) {
     w.key("summary").value(entry.summary);
     w.key("source").value(entry.source);
     w.key("size_rule").value(entry.size_rule);
+    w.key("pattern").value(entry.pattern);
+    w.key("formula").value(entry.formula);
+    w.key("header").value(entry.header);
+    w.key("exact_h").value(entry.exact_h);
+    w.key("input_independent").value(entry.input_independent);
     w.key("bench_sizes").begin_array();
     for (const auto size : entry.bench_sizes) w.value(size);
     w.end_array();

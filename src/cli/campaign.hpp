@@ -1,7 +1,8 @@
 // Campaigns: programmable experiment sweeps over the algorithm registry.
 //
 // A campaign names a set of algorithms (each with a size sweep), a backend
-// matrix (simulate / cost / record, see bsp/backend.hpp), an engine matrix,
+// matrix (simulate / cost / record / analytic, see bsp/backend.hpp and
+// core/analytic.hpp), an engine matrix,
 // a fold range and a σ grid. `run_campaign` executes every (algorithm, n,
 // backend, engine) cell once and evaluates the full metric surface from the
 // recorded trace:
@@ -62,7 +63,7 @@ struct CampaignSpec {
 ///   name = nightly
 ///   algorithms = matmul:64:4096, fft, sort:256     (bare name = smoke sizes)
 ///   engines = seq, par:2                           (default: seq)
-///   backends = simulate, cost, record              (default: simulate)
+///   backends = simulate, cost, record, analytic    (default: simulate)
 ///   sigmas = 0, 1, 4.5                             (default: auto grid)
 ///   max_fold = 64                                  (default: all folds)
 ///
@@ -98,8 +99,9 @@ struct FoldResult {
 /// Everything measured for one (algorithm, n, engine) run.
 struct RunResult {
   std::string algorithm;
-  std::string engine;   ///< to_string(policy): "seq" or "par:N"
-  std::string backend;  ///< to_string(kind): "simulate" | "cost" | "record"
+  std::string engine;  ///< to_string(policy): "seq" or "par:N"
+  /// to_string(kind): "simulate" | "cost" | "record" | "analytic"
+  std::string backend;
   std::uint64_t n = 0;
   unsigned log_v = 0;
   std::uint64_t supersteps = 0;
@@ -138,8 +140,11 @@ void print_campaign_text(std::ostream& os, const CampaignResult& result);
     const JsonValue& doc);
 
 /// Machine-readable registry dump for `nobl list --json`: schema version,
-/// every AlgoEntry (name, summary, source, size_rule, bench/smoke sweeps,
-/// max_sweep_size, supported backends) and the builtin campaign names.
+/// every AlgoEntry (name, summary, source, size_rule, pattern, formula,
+/// header, exact_h, input_independent, bench/smoke sweeps, max_sweep_size,
+/// supported backends) and the builtin campaign names. docs/KERNELS.md is
+/// generated from this document by scripts/gen_kernels_md.py; CI fails when
+/// the committed file drifts.
 void write_registry_json(std::ostream& os);
 
 /// Threshold gate for CI. The thresholds document looks like:

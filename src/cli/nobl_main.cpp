@@ -46,7 +46,8 @@ int usage_error(const std::string& message, const std::string& help_hint) {
 struct CampaignArgs {
   std::string campaign;  ///< builtin name
   std::string spec;      ///< path to a spec file
-  std::string backend;   ///< --backend override (simulate | cost | record)
+  /// --backend override (simulate | cost | record | analytic)
+  std::string backend;
 };
 
 [[nodiscard]] CampaignSpec resolve_campaign(const CampaignArgs& args) {
@@ -97,9 +98,12 @@ Options:
                   separated subset of: simulate (the full M(v) machine),
                   cost (degree accounting only — no payloads, no delivery,
                   no inboxes), record (capture + replay the communication
-                  schedule). Traces are backend-invariant — running e.g.
-                  --backend simulate,cost makes `nobl check` enforce that
-                  bit-identity inside the one result document
+                  schedule), analytic (closed-form trace synthesis for
+                  kernels with exact formulas, a memoized fused replay for
+                  the other input-independent kernels, cost fallback
+                  otherwise). Traces are backend-invariant — running e.g.
+                  --backend simulate,cost,analytic makes `nobl check`
+                  enforce that bit-identity inside the one result document
   --thresholds F  after the run, gate the results on the thresholds file F
                   (exit 1 on any violation) — the one-shot form of the CI
                   `nobl run` + `nobl check` pair
@@ -198,9 +202,11 @@ Usage:
 
 Options:
   --json FILE   also write the full result document ("-" = stdout)
-  --backend B   certify under one backend: simulate | cost | record. Cost is
-                the natural choice — verdicts are pure trace queries, and the
-                cost backend never materializes a message
+  --backend B   certify under one backend: simulate | cost | record |
+                analytic. Analytic is the natural choice for sweeps —
+                verdicts are pure trace queries, and the analytic backend
+                answers them from closed forms or one memoized schedule
+                instead of re-running the kernel per point
   --quiet       suppress progress lines on stderr
   --help        this text
 )";
@@ -425,8 +431,9 @@ Usage:
 
 Options:
   --json    machine-readable listing on stdout (name, source, size_rule,
-            sweeps, max_sweep_size, supported backends per algorithm, plus
-            the builtin campaign names)
+            pattern, formula, header, exact_h, input_independent, sweeps,
+            max_sweep_size, supported backends per algorithm, plus the
+            builtin campaign names) — the input of scripts/gen_kernels_md.py
   --help    this text
 )";
 }

@@ -17,6 +17,7 @@
 #include "algorithms/stencil1d.hpp"
 #include "algorithms/stencil2d.hpp"
 #include "algorithms/transpose.hpp"
+#include "core/analytic.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/predictions.hpp"
 #include "core/workloads.hpp"
@@ -108,6 +109,11 @@ void AlgoRegistry::add(AlgoEntry entry) {
                                   to_string(options.backend) +
                                   "\" is not supported by this kernel");
     }
+    if (options.backend == BackendKind::kAnalytic) {
+      // The optimizer path: closed form, memoized record/replay, or cost
+      // fallback — the program itself never interprets kAnalytic.
+      return analytic_trace(self, n);
+    }
     return raw(n, options);
   };
   entries_.push_back(std::move(entry));
@@ -133,6 +139,9 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::matmul,
        .bench_sizes = {64, 4096, 16384},
        .smoke_sizes = {64, 1024},
+       .pattern = "recursive 8-way block replication",
+       .formula = "O(n/p^{2/3} + sigma log p)",
+       .header = "src/algorithms/matmul.hpp",
        .validate = square_pow2_size,
        .max_sweep_size = std::uint64_t{1} << 18});
 
@@ -153,6 +162,9 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::matmul_space,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 1024},
+       .pattern = "O(1)-memory block schedule",
+       .formula = "O(n/sqrt(p) + sigma sqrt(p))",
+       .header = "src/algorithms/matmul_space.hpp",
        .validate = square_pow2_size,
        .max_sweep_size = std::uint64_t{1} << 18});
 
@@ -171,6 +183,9 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::fft,
        .bench_sizes = {64, 1024, 16384},
        .smoke_sizes = {64, 1024},
+       .pattern = "butterfly DAG via recursive transposes",
+       .formula = "O((n/p + sigma) log n / log(n/p))",
+       .header = "src/algorithms/fft.hpp",
        .validate = pow2_size});
 
   add({.name = "sort",
@@ -188,6 +203,9 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::sort,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 256},
+       .pattern = "recursive Columnsort, 8 phases",
+       .formula = "O((n/p + sigma) (log n / log(n/p))^{log_{3/2} 4})",
+       .header = "src/algorithms/sort.hpp",
        .validate = pow2_size,
        .max_sweep_size = std::uint64_t{1} << 20});
 
@@ -206,6 +224,9 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::sort,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 256},
+       .pattern = "fixed compare-exchange network",
+       .formula = "Theta((n/p + sigma) * crossing stages)",
+       .header = "src/algorithms/bitonic.hpp",
        .validate = pow2_size,
        .max_sweep_size = std::uint64_t{1} << 20});
 
@@ -227,6 +248,9 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {64, 256, 1024},
        .smoke_sizes = {64, 256},
+       .pattern = "1-D diamond decomposition",
+       .formula = "O(n 4^{sqrt(log n)}) for sigma = O(n/p)",
+       .header = "src/algorithms/stencil1d.hpp",
        .validate = pow2_size,
        .max_sweep_size = std::uint64_t{1} << 13});
 
@@ -247,6 +271,9 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {16, 64, 128},
        .smoke_sizes = {16},
+       .pattern = "2-D diamond slabs on M(n^2)",
+       .formula = "O((n^2/sqrt(p)) 8^{sqrt(log n)})",
+       .header = "src/algorithms/stencil2d.hpp",
        .validate = pow2_size_ge2,
        .max_sweep_size = std::uint64_t{1} << 10});
 
@@ -268,6 +295,11 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {64, 1024, 16384},
        .smoke_sizes = {64, 1024},
+       .pattern = "two-sweep reduction tree",
+       .formula = "2 log p (1 + sigma)",
+       .header = "src/algorithms/scan.hpp",
+       .exact_h = true,
+       .analytic = analytic::scan_trace,
        .validate = pow2_size});
 
   add({.name = "transpose",
@@ -286,6 +318,11 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::transpose,
        .bench_sizes = {64, 4096, 16384},
        .smoke_sizes = {64, 1024},
+       .pattern = "recursive quadrant swaps (all-to-all permutation)",
+       .formula = "(n/p)(1 - 1/p) + sigma log p for p <= sqrt(n)",
+       .header = "src/algorithms/transpose.hpp",
+       .exact_h = true,
+       .analytic = analytic::transpose_trace,
        .validate = square_pow2_size});
 
   add({.name = "samplesort",
@@ -303,6 +340,10 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::sort,
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 256},
+       .pattern = "data-dependent splitter routing",
+       .formula = "~ 2n/p + (sqrt(n) - 1 + sigma) log p",
+       .header = "src/algorithms/samplesort.hpp",
+       .input_independent = false,
        .validate = pow2_size,
        .max_sweep_size = std::uint64_t{1} << 16});
 
@@ -326,6 +367,11 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {64, 1024, 4096},
        .smoke_sizes = {64, 1024},
+       .pattern = "fixed-fanout tree (kappa = 2)",
+       .formula = "(kappa - 1 + sigma) log_kappa p",
+       .header = "src/algorithms/broadcast.hpp",
+       .exact_h = true,
+       .analytic = analytic::broadcast_trace,
        .validate = pow2_size});
 
   add({.name = "reduce",
@@ -346,6 +392,11 @@ AlgoRegistry::AlgoRegistry() {
            },
        .bench_sizes = {64, 1024, 16384},
        .smoke_sizes = {64, 1024},
+       .pattern = "full-machine reduction tree",
+       .formula = "log p (1 + sigma)",
+       .header = "src/algorithms/primitives.hpp",
+       .exact_h = true,
+       .analytic = analytic::reduce_trace,
        .validate = pow2_size});
 
   add({.name = "gather",
@@ -363,6 +414,11 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::gather,
        .bench_sizes = {64, 4096, 65536},
        .smoke_sizes = {64, 1024},
+       .pattern = "flat gather at VP 0",
+       .formula = "n(1 - 1/p) + sigma",
+       .header = "src/algorithms/primitives.hpp",
+       .exact_h = true,
+       .analytic = analytic::gather_trace,
        .validate = pow2_size});
 
   add({.name = "shift",
@@ -380,6 +436,11 @@ AlgoRegistry::AlgoRegistry() {
        .lower_bound = lb::shift,
        .bench_sizes = {64, 4096, 65536},
        .smoke_sizes = {64, 1024},
+       .pattern = "cyclic n/2-shift (all-cross permutation)",
+       .formula = "n/p + sigma",
+       .header = "src/algorithms/primitives.hpp",
+       .exact_h = true,
+       .analytic = analytic::shift_trace,
        .validate = pow2_size});
 }
 

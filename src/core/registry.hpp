@@ -10,8 +10,14 @@
 //   * its closed-form predicted cost (Section 4 upper bounds) and the
 //     matching lower bound, both as CostFormula (n, p, σ) -> value,
 //   * the size sweeps its bench and the CI smoke campaign use,
-//   * the backends it supports (every kernel is a Program, so all three:
-//     simulate / cost / record).
+//   * the backends it supports (every kernel is a Program, so all four:
+//     simulate / cost / record, plus the analytic cost-optimizer path —
+//     exact kernels answer symbolically, input-independent ones through
+//     the schedule memo cache, data-dependent ones by cost fallback; see
+//     core/analytic.hpp),
+//   * catalog metadata (pattern class, H formula, defining header,
+//     exactness and input-independence flags) that `nobl list --json`
+//     emits and docs/KERNELS.md is generated from.
 //
 // The bench binaries, the `nobl` CLI and the campaign runner all pull
 // runners and formulas from here instead of re-declaring them, so adding an
@@ -47,6 +53,26 @@ struct AlgoEntry {
   std::vector<std::uint64_t> bench_sizes;
   /// Small sizes for the ci-smoke campaign (seconds, not minutes).
   std::vector<std::uint64_t> smoke_sizes;
+
+  /// Communication-pattern class, e.g. "reduction tree", "all-to-all
+  /// permutation" — the docs catalog (docs/KERNELS.md) column.
+  std::string pattern;
+  /// Human-readable H(n, p, σ) formula; exact when exact_h, an O(·)
+  /// envelope otherwise.
+  std::string formula;
+  /// Defining header under src/, e.g. "src/algorithms/scan.hpp".
+  std::string header;
+
+  /// True iff `predicted` equals measured H at every fold and σ. Such
+  /// kernels carry an `analytic` trace synthesizer and the analytic
+  /// backend answers them without executing a message.
+  bool exact_h = false;
+  /// False for kernels whose degrees depend on the input values
+  /// (samplesort): the analytic backend's schedule memo cache refuses
+  /// them and falls back to cost execution.
+  bool input_independent = true;
+  /// Closed-form trace synthesizer (core/analytic.hpp); set iff exact_h.
+  Trace (*analytic)(std::uint64_t n) = nullptr;
 
   /// True iff `n` satisfies size_rule (the runner would accept it).
   [[nodiscard]] bool admits(std::uint64_t n) const {

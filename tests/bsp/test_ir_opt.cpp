@@ -1,0 +1,228 @@
+// The Program-IR optimizer (bsp/ir_opt.hpp): pattern classification must be
+// sound (a classified superstep's bulk record equals the reference
+// accumulation), conservative (near-miss patterns fall back to kIrregular),
+// and the optimized replay must stay bit-identical to Schedule::replay_trace
+// — and therefore to the simulator — on every schedule we can record.
+#include "bsp/ir_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bsp/backend.hpp"
+#include "bsp/machine.hpp"
+#include "core/registry.hpp"
+
+namespace nobl {
+namespace {
+
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.log_v(), b.log_v());
+  ASSERT_EQ(a.supersteps(), b.supersteps());
+  for (std::size_t s = 0; s < a.supersteps(); ++s) {
+    EXPECT_EQ(a.steps()[s].label, b.steps()[s].label) << "superstep " << s;
+    EXPECT_EQ(a.steps()[s].degree, b.steps()[s].degree) << "superstep " << s;
+    EXPECT_EQ(a.steps()[s].messages, b.steps()[s].messages)
+        << "superstep " << s;
+  }
+}
+
+/// A full dense all-to-all in recorded (sequential-driver) order: VP src
+/// sends one unit message to every dst, self included.
+ScheduleStep dense_step(std::uint64_t v) {
+  ScheduleStep step;
+  step.label = 0;
+  for (std::uint64_t src = 0; src < v; ++src) {
+    for (std::uint64_t dst = 0; dst < v; ++dst) {
+      step.sends.push_back({src, dst, 1, false});
+    }
+  }
+  return step;
+}
+
+TEST(IrOpt, ClassifiesDenseAllToAll) {
+  for (const unsigned log_v : {1u, 2u, 3u, 6u}) {
+    const std::uint64_t v = std::uint64_t{1} << log_v;
+    Schedule schedule;
+    schedule.log_v = log_v;
+    schedule.steps.push_back(dense_step(v));
+    EXPECT_EQ(classify_step(schedule.steps[0], log_v), StepPattern::kDense);
+
+    const OptimizedSchedule optimized = optimize_schedule(schedule);
+    expect_traces_identical(schedule.replay_trace(), optimized.replay_trace());
+    const OptimizeStats stats = optimized.stats();
+    EXPECT_EQ(stats.dense, 1u);
+    EXPECT_EQ(stats.irregular, 0u);
+    EXPECT_EQ(stats.events_total, static_cast<std::size_t>(v * v));
+    EXPECT_EQ(stats.events_retained, 0u);
+  }
+}
+
+TEST(IrOpt, DenseNearMissesFallBackToIrregular) {
+  const unsigned log_v = 2;
+  // Same multiset of events, two swapped out of recorded order: the O(E)
+  // positional check must refuse (conservative), and the irregular replay
+  // must still produce the identical dense degrees.
+  Schedule reordered;
+  reordered.log_v = log_v;
+  reordered.steps.push_back(dense_step(4));
+  std::swap(reordered.steps[0].sends[0], reordered.steps[0].sends[1]);
+  EXPECT_EQ(classify_step(reordered.steps[0], log_v),
+            StepPattern::kIrregular);
+  Schedule dense;
+  dense.log_v = log_v;
+  dense.steps.push_back(dense_step(4));
+  expect_traces_identical(dense.replay_trace(),
+                          optimize_schedule(reordered).replay_trace());
+
+  // v² events with one doubled and one dropped: not dense, and the replay
+  // must account the *actual* events, not the pattern's formula.
+  Schedule skewed;
+  skewed.log_v = log_v;
+  skewed.steps.push_back(dense_step(4));
+  skewed.steps[0].sends[5].count = 2;
+  skewed.steps[0].sends.pop_back();
+  EXPECT_EQ(classify_step(skewed.steps[0], log_v), StepPattern::kIrregular);
+  expect_traces_identical(skewed.replay_trace(),
+                          optimize_schedule(skewed).replay_trace());
+}
+
+TEST(IrOpt, ClassifiesConstantXorShift) {
+  const unsigned log_v = 3;
+  Schedule schedule;
+  schedule.log_v = log_v;
+  for (const std::uint64_t d : {1u, 2u, 5u}) {
+    ScheduleStep step;
+    step.label = 0;
+    for (std::uint64_t src = 0; src < 8; ++src) {
+      step.sends.push_back({src, src ^ d, 1, false});
+    }
+    schedule.steps.push_back(step);
+    EXPECT_EQ(classify_step(step, log_v), StepPattern::kShift) << "d=" << d;
+  }
+  expect_traces_identical(schedule.replay_trace(),
+                          optimize_schedule(schedule).replay_trace());
+  EXPECT_EQ(optimize_schedule(schedule).stats().shift, 3u);
+}
+
+TEST(IrOpt, ClassifiesTreeRoundsAndRejectsCrowdedClusters) {
+  const unsigned log_v = 3;
+  // A reduction round at distance 2: one sender and one receiver per
+  // cluster at the coarsest crossing fold.
+  ScheduleStep round;
+  round.label = 0;
+  round.sends = {{2, 0, 1, false}, {6, 4, 1, false}};
+  EXPECT_EQ(classify_step(round, log_v), StepPattern::kTree);
+
+  // Four messages all crossing the top fold out of the SAME half: shared
+  // XOR, but the 0-cluster holds four senders, so h(2) = 4, not 1. The
+  // distinctness rule must refuse tree here.
+  ScheduleStep crowded;
+  crowded.label = 0;
+  crowded.sends = {{0, 4, 1, false},
+                   {1, 5, 1, false},
+                   {2, 6, 1, false},
+                   {3, 7, 1, false}};
+  EXPECT_EQ(classify_step(crowded, log_v), StepPattern::kIrregular);
+
+  Schedule schedule;
+  schedule.log_v = log_v;
+  schedule.steps = {round, crowded};
+  expect_traces_identical(schedule.replay_trace(),
+                          optimize_schedule(schedule).replay_trace());
+}
+
+TEST(IrOpt, FusesIdenticalConsecutiveSupersteps) {
+  const unsigned log_v = 2;
+  Schedule schedule;
+  schedule.log_v = log_v;
+  schedule.steps.push_back(dense_step(4));
+  schedule.steps.push_back(dense_step(4));  // identical: fused
+  ScheduleStep irregular;
+  irregular.label = 1;
+  irregular.sends = {{0, 1, 1, false}, {0, 1, 3, true}};
+  schedule.steps.push_back(irregular);
+  schedule.steps.push_back(irregular);  // identical irregular: fused too
+
+  const OptimizedSchedule optimized = optimize_schedule(schedule);
+  ASSERT_EQ(optimized.steps.size(), 4u);
+  EXPECT_FALSE(optimized.steps[0].fused_with_previous);
+  EXPECT_TRUE(optimized.steps[1].fused_with_previous);
+  EXPECT_FALSE(optimized.steps[2].fused_with_previous);
+  EXPECT_TRUE(optimized.steps[3].fused_with_previous);
+  EXPECT_EQ(optimized.stats().fused, 2u);
+  expect_traces_identical(schedule.replay_trace(), optimized.replay_trace());
+}
+
+/// Every superstep flavour the backends drive: real traffic, dummy bursts,
+/// self-messages, a range superstep and a sparse one (mirrors the
+/// test_backend mixed program).
+template <typename Backend>
+void mixed_program(Backend& bk) {
+  const std::uint64_t v = bk.v();
+  bk.superstep(0, [v](auto& vp) {
+    vp.send((vp.id() * 5 + 3) % v, static_cast<int>(vp.id()));
+    vp.send(vp.id(), -1);
+    if (vp.id() + 1 < v) vp.send_dummy(vp.id() + 1, vp.id() % 3);
+  });
+  bk.superstep_range(0, v / 4, (3 * v) / 4, [v](auto& vp) {
+    vp.send(v - 1 - vp.id(), 7);
+  });
+  std::vector<std::uint64_t> active;
+  for (std::uint64_t r = 0; r < v; r += 3) active.push_back(r);
+  const unsigned label = bk.log_v() >= 2 ? 1u : 0u;
+  bk.superstep_sparse(label, active, [](auto& vp) {
+    vp.send(vp.id() ^ 1, 1);
+  });
+}
+
+TEST(IrOpt, OptimizedReplayMatchesSimulatorOnMixedPrograms) {
+  for (const std::uint64_t v : {4u, 16u, 64u}) {
+    RecordBackend record(v);
+    mixed_program(record);
+    SimulateBackend<int> simulate(v);
+    mixed_program(simulate);
+    const OptimizedSchedule optimized = optimize_schedule(record.schedule());
+    expect_traces_identical(simulate.trace(), optimized.replay_trace());
+    EXPECT_EQ(optimized.stats().events_total,
+              record.schedule().total_sends());
+  }
+}
+
+TEST(IrOpt, OptimizedReplayMatchesEveryRegistryKernel) {
+  // The soundness contract end to end: record each kernel's schedule at its
+  // smallest smoke size, optimize, and demand the bulk-accounted replay be
+  // bit-identical to the recording backend's own trace (which PR 5's tests
+  // pin against the simulator).
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    const std::uint64_t n = entry.smoke_sizes.front();
+    Schedule schedule;
+    RunOptions options;
+    options.backend = BackendKind::kRecord;
+    options.capture = &schedule;
+    const Trace recorded = entry.runner(n, options);
+    const OptimizedSchedule optimized = optimize_schedule(schedule);
+    expect_traces_identical(recorded, optimized.replay_trace());
+    const OptimizeStats stats = optimized.stats();
+    EXPECT_LE(stats.events_retained, stats.events_total) << entry.name;
+  }
+}
+
+TEST(IrOpt, PatternNamesAreStable) {
+  EXPECT_EQ(to_string(StepPattern::kDense), "dense");
+  EXPECT_EQ(to_string(StepPattern::kShift), "shift");
+  EXPECT_EQ(to_string(StepPattern::kTree), "tree");
+  EXPECT_EQ(to_string(StepPattern::kIrregular), "irregular");
+}
+
+TEST(IrOpt, RejectsOutOfRangeLabels) {
+  Schedule schedule;
+  schedule.log_v = 2;
+  schedule.steps.push_back({5, {}});
+  EXPECT_THROW((void)optimize_schedule(schedule), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

@@ -45,6 +45,18 @@ TEST(Registry, EntriesAreWellFormed) {
     EXPECT_FALSE(entry.bench_sizes.empty()) << entry.name;
     EXPECT_FALSE(entry.smoke_sizes.empty()) << entry.name;
     EXPECT_GE(entry.max_sweep_size, 1u) << entry.name;
+    // Catalog metadata (docs/KERNELS.md is generated from these).
+    EXPECT_FALSE(entry.pattern.empty()) << entry.name;
+    EXPECT_FALSE(entry.formula.empty()) << entry.name;
+    EXPECT_FALSE(entry.header.empty()) << entry.name;
+    // An exact-H kernel must carry its closed-form synthesizer, and a
+    // synthesizer only makes sense for an input-independent schedule.
+    if (entry.exact_h) {
+      EXPECT_TRUE(entry.analytic != nullptr) << entry.name;
+    }
+    if (entry.analytic != nullptr) {
+      EXPECT_TRUE(entry.input_independent) << entry.name;
+    }
     for (const auto n : entry.bench_sizes) {
       EXPECT_TRUE(entry.admits(n)) << entry.name << " bench n=" << n;
       EXPECT_LE(n, entry.max_sweep_size) << entry.name << " bench n=" << n;
@@ -53,8 +65,10 @@ TEST(Registry, EntriesAreWellFormed) {
       EXPECT_TRUE(entry.admits(n)) << entry.name << " smoke n=" << n;
       EXPECT_LE(n, entry.max_sweep_size) << entry.name << " smoke n=" << n;
     }
-    // Every kernel is a Program: all three backends must be supported.
-    EXPECT_EQ(entry.backends.size(), 3u) << entry.name;
+    // Every kernel is a Program: all four backends must be supported
+    // (analytic included — it falls back to cost for data-dependent
+    // kernels, so it is never refused at the registry level).
+    EXPECT_EQ(entry.backends.size(), 4u) << entry.name;
     for (const BackendKind kind : all_backend_kinds()) {
       EXPECT_TRUE(entry.supports(kind)) << entry.name;
     }
