@@ -1,6 +1,28 @@
 #include "bsp/backend.hpp"
 
+#include "bsp/trace_store.hpp"
+
 namespace nobl {
+
+void CostBackend::stream_to(TraceWriter* writer) {
+  if (writer != nullptr && writer->log_v() != log_v_) {
+    throw std::invalid_argument(
+        "CostBackend::stream_to: writer log_v mismatch");
+  }
+  stream_ = writer;
+}
+
+void CostBackend::emit_record() {
+  if (stream_ != nullptr) {
+    // Streaming: the record is encoded into the writer's O(log v) state
+    // and record_'s buffers are reused next superstep — live trace state
+    // never grows with the superstep count.
+    stream_->append(record_);
+  } else {
+    trace_.append(std::move(record_));
+    record_ = SuperstepRecord{};
+  }
+}
 
 std::string to_string(BackendKind kind) {
   switch (kind) {
@@ -35,7 +57,7 @@ const std::vector<BackendKind>& all_backend_kinds() {
 
 std::size_t Schedule::total_sends() const noexcept {
   std::size_t total = 0;
-  for (const ScheduleStep& step : steps) total += step.sends.size();
+  for (const ScheduleStep& step : steps) total += step.size();
   return total;
 }
 
@@ -49,13 +71,50 @@ Trace Schedule::replay_trace() const {
     SuperstepRecord record;
     record.label = step.label;
     record.degree.assign(log_v + 1u, 0);
-    for (const ScheduleSend& send : step.sends) {
-      acc.count(send.src, send.dst, send.count);
+    const auto& src = step.src();
+    const auto& dst = step.dst();
+    const auto& count = step.count();
+    for (std::size_t i = 0; i < step.size(); ++i) {
+      acc.count(src[i], dst[i], count[i]);
     }
     acc.finalize_into(record);
     trace.append(std::move(record));
   }
   return trace;
+}
+
+namespace {
+
+/// 64-bit FNV-1a over a word sequence (each word fed little-endian).
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xFFu;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash,
+                    const std::vector<std::uint64_t>& words) noexcept {
+  hash = fnv1a(hash, words.size());  // length-prefix: no column aliasing
+  for (const std::uint64_t word : words) hash = fnv1a(hash, word);
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t Schedule::content_hash() const noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  hash = fnv1a(hash, log_v);
+  hash = fnv1a(hash, steps.size());
+  for (const ScheduleStep& step : steps) {
+    hash = fnv1a(hash, step.label);
+    hash = fnv1a(hash, step.src());
+    hash = fnv1a(hash, step.dst());
+    hash = fnv1a(hash, step.count());
+    hash = fnv1a(hash, step.dummy_words());
+  }
+  return hash;
 }
 
 }  // namespace nobl

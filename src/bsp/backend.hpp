@@ -49,6 +49,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -84,6 +85,7 @@ enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord, kAnalytic };
 [[nodiscard]] const std::vector<BackendKind>& all_backend_kinds();
 
 struct Schedule;
+class TraceWriter;
 
 /// How to execute one specification-model run: which backend interprets the
 /// program, and (for the simulating backend) which engine drives VP bodies.
@@ -115,6 +117,8 @@ using SimulateBackend = Machine<Payload>;
 
 /// One recorded communication event: `count` unit messages src -> dst
 /// (count > 1 only for dummy traffic; real sends record one event each).
+/// This is a *row view* over ScheduleStep's columns — events are stored
+/// columnar, never as a vector of these.
 struct ScheduleSend {
   std::uint64_t src = 0;
   std::uint64_t dst = 0;
@@ -124,11 +128,69 @@ struct ScheduleSend {
   friend bool operator==(const ScheduleSend&, const ScheduleSend&) = default;
 };
 
-/// One recorded superstep: label plus its events in execution order
-/// (ascending sender under the sequential driver, per-sender send order).
-struct ScheduleStep {
+/// One recorded superstep as a columnar block: label plus parallel src /
+/// dst / count columns and a dummy bitmap (bit i of word i/64), in
+/// execution order (ascending sender under the sequential driver,
+/// per-sender send order). The same block layout the binary trace store
+/// uses: O(E) scans (ir_opt classification, replay) walk contiguous
+/// columns, equality and content hashing compare whole words.
+class ScheduleStep {
+ public:
   unsigned label = 0;
-  std::vector<ScheduleSend> sends;
+
+  ScheduleStep() = default;
+  explicit ScheduleStep(unsigned step_label) : label(step_label) {}
+  /// Test/fixture convenience: build a block from rows.
+  ScheduleStep(unsigned step_label, std::initializer_list<ScheduleSend> rows)
+      : label(step_label) {
+    for (const ScheduleSend& row : rows) {
+      push(row.src, row.dst, row.count, row.dummy);
+    }
+  }
+
+  /// Append one event.
+  void push(std::uint64_t src, std::uint64_t dst, std::uint64_t count,
+            bool dummy) {
+    const std::size_t i = src_.size();
+    src_.push_back(src);
+    dst_.push_back(dst);
+    count_.push_back(count);
+    if ((i & 63) == 0) dummy_words_.push_back(0);
+    if (dummy) dummy_words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return src_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return src_.empty(); }
+
+  /// Materialize row i as a ScheduleSend view.
+  [[nodiscard]] ScheduleSend operator[](std::size_t i) const {
+    return {src_[i], dst_[i], count_[i], dummy(i)};
+  }
+  [[nodiscard]] bool dummy(std::size_t i) const {
+    return ((dummy_words_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  // Raw columns, for O(E) scans.
+  [[nodiscard]] const std::vector<std::uint64_t>& src() const noexcept {
+    return src_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& dst() const noexcept {
+    return dst_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& count() const noexcept {
+    return count_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& dummy_words() const noexcept {
+    return dummy_words_;
+  }
+
+  friend bool operator==(const ScheduleStep&, const ScheduleStep&) = default;
+
+ private:
+  std::vector<std::uint64_t> src_;
+  std::vector<std::uint64_t> dst_;
+  std::vector<std::uint64_t> count_;
+  std::vector<std::uint64_t> dummy_words_;
 };
 
 /// A replayable communication pattern: the Program IR made first-class.
@@ -147,6 +209,10 @@ struct Schedule {
   /// Re-derive the trace by feeding every event through a fresh
   /// DegreeAccumulator per superstep — the replay half of record/replay.
   [[nodiscard]] Trace replay_trace() const;
+  /// FNV-1a over log_v and every block's label and columns: the
+  /// content address under which the analytic memo cache stores replayed
+  /// traces (two schedules with identical patterns share one entry).
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
 };
 
 /// The payload-free counting backend. Bodies run inline, in VP index order
@@ -183,7 +249,7 @@ class CostBackend {
       ++messages_;
       if (dst != id_) bucket(dst, 1);
       if constexpr (kCapture) {
-        capture_->steps.back().sends.push_back({id_, dst, 1, false});
+        capture_->steps.back().push(id_, dst, 1, false);
       }
     }
     void send_dummy(std::uint64_t dst, std::uint64_t count = 1) {
@@ -194,7 +260,7 @@ class CostBackend {
       messages_ += count;
       if (dst != id_) bucket(dst, count);
       if constexpr (kCapture) {
-        capture_->steps.back().sends.push_back({id_, dst, count, true});
+        capture_->steps.back().push(id_, dst, count, true);
       }
     }
 
@@ -256,6 +322,16 @@ class CostBackend {
   [[nodiscard]] std::uint64_t v() const noexcept { return v_; }
   [[nodiscard]] unsigned log_v() const noexcept { return log_v_; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Stream mode: route every finalized superstep record into `writer`
+  /// (bsp/trace_store.hpp) instead of appending to the in-memory trace.
+  /// While streaming, trace() stays empty and the backend's live trace
+  /// state is O(log v) — one record plus the writer's previous-column
+  /// delta state — so arbitrarily long programs record in constant memory.
+  /// Pass nullptr to return to in-memory accumulation. The writer must
+  /// outlive every superstep driven after this call; its log_v must equal
+  /// the backend's.
+  void stream_to(TraceWriter* writer);
 
   template <typename Body>
   void superstep(unsigned label, Body&& body) {
@@ -335,15 +411,18 @@ class CostBackend {
     acc_.ensure_lanes();
     record_.label = label;
     record_.degree.assign(log_v_ + 1, 0);
-    if (capture_ != nullptr) capture_->steps.push_back({label, {}});
+    if (capture_ != nullptr) capture_->steps.emplace_back(label);
   }
 
   void end_superstep() {
     acc_.finalize_into(record_);
-    trace_.append(std::move(record_));
-    record_ = SuperstepRecord{};
+    emit_record();
     in_superstep_ = false;
   }
+
+  /// Out of line (backend.cpp): append record_ to the streaming writer when
+  /// one is attached, to the in-memory trace otherwise.
+  void emit_record();
 
   /// Cold path of VpRef's send check: decide which invariant broke. The
   /// fast path pre-verified `dst >= v_ || cluster breach`, so exactly one
@@ -363,6 +442,7 @@ class CostBackend {
   DegreeAccumulator acc_;
   Trace trace_;
   Schedule* capture_ = nullptr;
+  TraceWriter* stream_ = nullptr;
   bool in_superstep_ = false;
   unsigned label_ = 0;
   unsigned breach_shift_ = 0;  ///< log_v - label of the open superstep

@@ -24,11 +24,13 @@ bool try_dense(const ScheduleStep& step, unsigned log_v,
                SuperstepRecord* out) {
   if (log_v > 31) return false;  // v² would not fit the event count anyway
   const std::uint64_t v = std::uint64_t{1} << log_v;
-  if (step.sends.size() != v * v) return false;
-  for (std::size_t idx = 0; idx < step.sends.size(); ++idx) {
-    const ScheduleSend& send = step.sends[idx];
-    if (send.count != 1) return false;
-    if (send.src != (idx >> log_v) || send.dst != (idx & (v - 1))) {
+  if (step.size() != v * v) return false;
+  const auto& src = step.src();
+  const auto& dst = step.dst();
+  const auto& count = step.count();
+  for (std::size_t idx = 0; idx < step.size(); ++idx) {
+    if (count[idx] != 1) return false;
+    if (src[idx] != (idx >> log_v) || dst[idx] != (idx & (v - 1))) {
       return false;
     }
   }
@@ -50,12 +52,14 @@ bool try_dense(const ScheduleStep& step, unsigned log_v,
 bool try_shift(const ScheduleStep& step, unsigned log_v,
                SuperstepRecord* out) {
   const std::uint64_t v = std::uint64_t{1} << log_v;
-  if (step.sends.size() != v) return false;
-  const std::uint64_t xor_d = step.sends[0].src ^ step.sends[0].dst;
+  if (step.size() != v) return false;
+  const auto& src = step.src();
+  const auto& dst = step.dst();
+  const auto& count = step.count();
+  const std::uint64_t xor_d = src[0] ^ dst[0];
   if (xor_d == 0) return false;
-  for (std::size_t idx = 0; idx < step.sends.size(); ++idx) {
-    const ScheduleSend& send = step.sends[idx];
-    if (send.count != 1 || send.src != idx || send.dst != (send.src ^ xor_d)) {
+  for (std::size_t idx = 0; idx < step.size(); ++idx) {
+    if (count[idx] != 1 || src[idx] != idx || dst[idx] != (src[idx] ^ xor_d)) {
       return false;
     }
   }
@@ -76,21 +80,24 @@ bool try_shift(const ScheduleStep& step, unsigned log_v,
 /// h = 1 on every crossing fold.
 bool try_tree(const ScheduleStep& step, unsigned log_v,
               SuperstepRecord* out) {
-  if (step.sends.empty()) return false;
-  const std::uint64_t xor_d = step.sends[0].src ^ step.sends[0].dst;
+  if (step.empty()) return false;
+  const auto& src = step.src();
+  const auto& dst = step.dst();
+  const auto& count = step.count();
+  const std::uint64_t xor_d = src[0] ^ dst[0];
   if (xor_d == 0) return false;
-  for (const ScheduleSend& send : step.sends) {
-    if (send.count != 1 || (send.src ^ send.dst) != xor_d) return false;
+  for (std::size_t idx = 0; idx < step.size(); ++idx) {
+    if (count[idx] != 1 || (src[idx] ^ dst[idx]) != xor_d) return false;
   }
   const auto width = static_cast<unsigned>(std::bit_width(xor_d));
   const unsigned shift = width - 1;
   std::vector<std::uint64_t> src_clusters;
   std::vector<std::uint64_t> dst_clusters;
-  src_clusters.reserve(step.sends.size());
-  dst_clusters.reserve(step.sends.size());
-  for (const ScheduleSend& send : step.sends) {
-    src_clusters.push_back(send.src >> shift);
-    dst_clusters.push_back(send.dst >> shift);
+  src_clusters.reserve(step.size());
+  dst_clusters.reserve(step.size());
+  for (std::size_t idx = 0; idx < step.size(); ++idx) {
+    src_clusters.push_back(src[idx] >> shift);
+    dst_clusters.push_back(dst[idx] >> shift);
   }
   for (auto* clusters : {&src_clusters, &dst_clusters}) {
     std::sort(clusters->begin(), clusters->end());
@@ -103,7 +110,7 @@ bool try_tree(const ScheduleStep& step, unsigned log_v,
     *out = make_record(step.label, log_v);
     const unsigned cb = log_v - width;
     for (unsigned j = cb + 1; j <= log_v; ++j) out->degree[j] = 1;
-    out->messages = step.sends.size();
+    out->messages = step.size();
   }
   return true;
 }
@@ -151,17 +158,17 @@ OptimizedSchedule optimize_schedule(const Schedule& schedule) {
     }
     OptimizedStep out;
     out.label = step.label;
-    if (s > 0 && step.label == schedule.steps[s - 1].label &&
-        step.sends == schedule.steps[s - 1].sends) {
-      // Fusion: an identical consecutive superstep reuses whatever record
-      // its predecessor materializes (classified now, or accumulated once
-      // at replay time for irregular runs).
+    if (s > 0 && step == schedule.steps[s - 1]) {
+      // Fusion: an identical consecutive superstep (label and all columns —
+      // whole-word compares) reuses whatever record its predecessor
+      // materializes (classified now, or accumulated once at replay time
+      // for irregular runs).
       out.pattern = optimized.steps.back().pattern;
       out.fused_with_previous = true;
     } else {
       out.pattern = classify_into(step, log_v, &out.record);
       if (out.pattern == StepPattern::kIrregular) {
-        out.sends = step.sends;
+        out.events = step;
       }
     }
     optimized.steps.push_back(std::move(out));
@@ -182,8 +189,11 @@ Trace OptimizedSchedule::replay_trace() const {
     } else {
       record.label = step.label;
       record.degree.assign(log_v + 1u, 0);
-      for (const ScheduleSend& send : step.sends) {
-        acc.count(send.src, send.dst, send.count);
+      const auto& src = step.events.src();
+      const auto& dst = step.events.dst();
+      const auto& count = step.events.count();
+      for (std::size_t i = 0; i < step.events.size(); ++i) {
+        acc.count(src[i], dst[i], count[i]);
       }
       acc.finalize_into(record);
     }
@@ -215,7 +225,7 @@ OptimizeStats OptimizedSchedule::stats() const {
         ++stats.irregular;
         break;
     }
-    stats.events_retained += step.sends.size();
+    stats.events_retained += step.events.size();
   }
   return stats;
 }

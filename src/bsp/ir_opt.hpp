@@ -51,14 +51,14 @@ enum class StepPattern : std::uint8_t { kDense, kShift, kTree, kIrregular };
 
 /// One optimized superstep. Classified steps (pattern != kIrregular) carry
 /// their finalized record and drop their events; irregular steps keep the
-/// events for reference replay. A fused step reuses the materialized record
-/// of its (identical) predecessor.
+/// columnar event block for reference replay. A fused step reuses the
+/// materialized record of its (identical) predecessor.
 struct OptimizedStep {
   unsigned label = 0;
   StepPattern pattern = StepPattern::kIrregular;
   bool fused_with_previous = false;
-  SuperstepRecord record;            ///< precomputed unless irregular/fused
-  std::vector<ScheduleSend> sends;   ///< retained only for irregular steps
+  SuperstepRecord record;  ///< precomputed unless irregular/fused
+  ScheduleStep events;     ///< retained only for irregular steps
 };
 
 /// Classification census of an optimized schedule.

@@ -1,10 +1,14 @@
-// Trace serialization: persist a recorded communication trace as CSV so a
-// run on the specification model can be archived, diffed, or re-analyzed
+// Trace serialization: persist a recorded communication trace so a run on
+// the specification model can be archived, diffed, or re-analyzed
 // (H/D/wiseness are pure functions of the trace) without re-executing the
-// algorithm.
+// algorithm. Two formats share one in-memory Trace:
 //
-// Format: header line `log_v,<value>`, then one line per superstep:
-//   label,messages,degree_0,degree_1,...,degree_logv
+//   CSV — the human surface: header line `log_v,<value>`, then one line per
+//     superstep: label,messages,degree_0,degree_1,...,degree_logv
+//   binary — the compact columnar block format of bsp/trace_store.hpp
+//     (delta+varint degree columns, per-block checksums); the two are
+//     pinned against each other by a round-trip differential test over
+//     every golden fixture and registry kernel.
 #pragma once
 
 #include <iosfwd>
@@ -13,13 +17,23 @@
 
 namespace nobl {
 
-/// Serialize a trace. Deterministic, line-oriented, self-describing.
+/// Serialize a trace as CSV. Deterministic, line-oriented, self-describing.
 void write_trace_csv(std::ostream& os, const Trace& trace);
 
 /// Parse a trace written by write_trace_csv. Throws std::invalid_argument on
 /// malformed input (wrong field counts, non-numeric fields, numeric fields
 /// exceeding 64 bits, label/degree constraints violated — the same
-/// validation Trace::append applies).
+/// validation Trace::append applies); every parse error carries the
+/// offending line and column.
 [[nodiscard]] Trace read_trace_csv(std::istream& is);
+
+/// Serialize a trace in the binary columnar block format (streams through
+/// a TraceWriter; O(log v) live state regardless of trace length).
+void write_trace_bin(std::ostream& os, const Trace& trace);
+
+/// Parse a binary trace image. Throws std::invalid_argument on any format
+/// violation, carrying the byte offset. For files, prefer constructing a
+/// TraceReader directly — it mmaps instead of slurping.
+[[nodiscard]] Trace read_trace_bin(std::istream& is);
 
 }  // namespace nobl

@@ -2,9 +2,11 @@
 //
 //   nobl run      execute a campaign, render text tables and/or JSON
 //   nobl certify  optimality/wiseness verdicts (Defs. 3.2/5.2, Thm 3.4)
-//   nobl trace    export / inspect / replay recorded traces (trace_io CSV)
+//   nobl trace    export / inspect / replay recorded traces (csv or .nbt)
+//   nobl convert  translate a trace between the csv and binary formats
 //   nobl list     enumerate registered algorithms and builtin campaigns
-//   nobl check    validate a result JSON, optionally gate on thresholds
+//   nobl check    validate a result JSON or replay golden traces,
+//                 optionally gate on thresholds
 //
 // Every subcommand accepts --help. Exit codes: 0 success, 1 failed
 // check/threshold/conformance, 2 usage error.
@@ -18,6 +20,7 @@
 
 #include "bsp/cost.hpp"
 #include "bsp/trace_io.hpp"
+#include "bsp/trace_store.hpp"
 #include "cli/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/wiseness.hpp"
@@ -39,6 +42,28 @@ int usage_error(const std::string& message, const std::string& help_hint) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Load a trace from `path` in either format, sniffing the binary magic —
+/// the CLI treats CSV and binary traces interchangeably everywhere.
+[[nodiscard]] Trace load_trace_any(const std::string& path) {
+  const std::string bytes = read_file(path);
+  if (looks_like_trace_bin(bytes)) {
+    return TraceReader::from_bytes(bytes).materialize();
+  }
+  std::istringstream in(bytes);
+  return read_trace_csv(in);
+}
+
+/// Serialize `trace` to `path` as CSV or binary.
+void save_trace(const std::string& path, const Trace& trace, bool binary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::invalid_argument("cannot write \"" + path + "\"");
+  if (binary) {
+    write_trace_bin(out, trace);
+  } else {
+    write_trace_csv(out, trace);
+  }
 }
 
 /// Common flag set shared by run/certify/trace: campaign selection plus an
@@ -285,14 +310,21 @@ void print_trace_help() {
   std::cout <<
       R"(nobl trace — export, inspect, or replay recorded traces.
 
-Traces are the trace_io CSV format (bsp/trace_io.hpp): header `log_v,<k>`,
-then one `label,messages,degree_0..degree_logv` line per superstep.
+Two trace formats, carrying identical information (docs/SCHEMAS.md):
+  csv   human surface: header `log_v,<k>`, then one
+        `label,messages,degree_0..degree_logv` line per superstep
+  bin   binary columnar blocks (bsp/trace_store.hpp): delta+varint degree
+        columns with per-block checksums, extension .nbt
+
+--inspect and --replay sniff the format from the file's magic bytes, so
+either format can be passed anywhere a trace file is expected.
 
 Usage:
-  nobl trace --export DIR (--campaign NAME | --spec FILE)
-        run the campaign (first engine) and write one CSV per unique
-        (algorithm, n) into DIR, named <algorithm>_n<N>.csv — traces are
-        engine-invariant, so one file pins every engine
+  nobl trace --export DIR (--campaign NAME | --spec FILE) [--format F]
+        run the campaign (first engine) and write one trace per unique
+        (algorithm, n) into DIR, named <algorithm>_n<N>.csv (or .nbt with
+        --format bin) — traces are engine-invariant, so one file pins
+        every engine
   nobl trace --inspect FILE
         print the trace's shape and its per-label superstep census
   nobl trace --replay FILE [--algorithm NAME --n N]
@@ -300,8 +332,9 @@ Usage:
         algorithm named, also re-certify against its closed forms
 
 Options:
-  --quiet   suppress progress lines on stderr
-  --help    this text
+  --format F  export format: csv (default) | bin
+  --quiet     suppress progress lines on stderr
+  --help      this text
 )";
 }
 
@@ -311,6 +344,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   std::string inspect_path;
   std::string replay_path;
   std::string algorithm;
+  std::string format = "csv";
   std::uint64_t n = 0;
   bool quiet = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -326,6 +360,13 @@ int cmd_trace(const std::vector<std::string>& args) {
       return 0;
     } else if (arg == "--export") {
       export_dir = next();
+    } else if (arg == "--format") {
+      format = next();
+      if (format != "csv" && format != "bin") {
+        return usage_error("--format must be csv or bin, got \"" + format +
+                               "\"",
+                           "trace");
+      }
     } else if (arg == "--inspect") {
       inspect_path = next();
     } else if (arg == "--replay") {
@@ -354,23 +395,20 @@ int cmd_trace(const std::vector<std::string>& args) {
     const CampaignResult result =
         run_campaign(spec, quiet ? nullptr : &std::cerr);
     std::filesystem::create_directories(export_dir);
+    const bool binary = format == "bin";
     for (const RunResult& run : result.runs) {
       const std::filesystem::path path =
           std::filesystem::path(export_dir) /
-          (run.algorithm + "_n" + std::to_string(run.n) + ".csv");
-      std::ofstream out(path, std::ios::binary);
-      if (!out) {
-        throw std::invalid_argument("cannot write \"" + path.string() + "\"");
-      }
-      write_trace_csv(out, run.trace);
+          (run.algorithm + "_n" + std::to_string(run.n) +
+           (binary ? kTraceBinExtension : ".csv"));
+      save_trace(path.string(), run.trace, binary);
       if (!quiet) std::cerr << "nobl: wrote " << path.string() << "\n";
     }
     return 0;
   }
 
   if (!inspect_path.empty()) {
-    std::istringstream in(read_file(inspect_path));
-    const Trace trace = read_trace_csv(in);
+    const Trace trace = load_trace_any(inspect_path);
     std::cout << "trace: " << inspect_path << "\n  log_v = " << trace.log_v()
               << " (v = " << trace.v() << ")\n  supersteps = "
               << trace.supersteps() << "\n  messages = "
@@ -381,8 +419,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   }
 
   if (!replay_path.empty()) {
-    std::istringstream in(read_file(replay_path));
-    const Trace trace = read_trace_csv(in);
+    const Trace trace = load_trace_any(replay_path);
     Table t("replayed metrics per fold",
             {"p", "H (sigma=0)", "alpha", "gamma"});
     for (const std::uint64_t p : pow2_range(trace.v())) {
@@ -420,6 +457,80 @@ int cmd_trace(const std::vector<std::string>& args) {
   }
 
   return usage_error("pass one of --export, --inspect, --replay", "trace");
+}
+
+void print_convert_help() {
+  std::cout <<
+      R"(nobl convert — translate a trace between the CSV and binary formats.
+
+The input format is sniffed from the file's magic bytes; the output format
+follows the output extension (.nbt = binary columnar blocks, anything else
+= CSV) unless --to overrides it. Converting csv -> bin -> csv is
+byte-identical (pinned by the trace_io round-trip tests).
+
+Usage:
+  nobl convert INPUT OUTPUT [--to F]
+
+Options:
+  --to F    force the output format: csv | bin (default: by extension)
+  --help    this text
+
+Examples:
+  nobl convert tests/golden/fft_n64.csv /tmp/fft_n64.nbt
+  nobl convert big.nbt - --to csv        ("-" writes CSV to stdout)
+)";
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::string to;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help") {
+      print_convert_help();
+      return 0;
+    } else if (arg == "--to") {
+      to = next();
+      if (to != "csv" && to != "bin") {
+        return usage_error("--to must be csv or bin, got \"" + to + "\"",
+                           "convert");
+      }
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage_error("unknown option \"" + arg + "\"", "convert");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    return usage_error("convert needs exactly INPUT and OUTPUT", "convert");
+  }
+  const std::string& input = paths[0];
+  const std::string& output = paths[1];
+
+  const Trace trace = load_trace_any(input);
+  const bool binary =
+      to.empty() ? std::filesystem::path(output).extension() ==
+                       kTraceBinExtension
+                 : to == "bin";
+  if (output == "-") {
+    if (binary) {
+      return usage_error("refusing to write binary to stdout (pass a path "
+                         "or --to csv)",
+                         "convert");
+    }
+    write_trace_csv(std::cout, trace);
+    return 0;
+  }
+  save_trace(output, trace, binary);
+  std::cerr << "nobl: wrote " << output << " (" << (binary ? "bin" : "csv")
+            << ", " << trace.supersteps() << " supersteps)\n";
+  return 0;
 }
 
 void print_list_help() {
@@ -484,12 +595,20 @@ must report identical H cells under every engine and every backend. With
 --thresholds, optimality ratios and certification minima are enforced on top
 (the CI regression gate).
 
+With --golden DIR, `nobl check` instead replays the golden campaign against
+the archived trace fixtures in DIR: for every (algorithm, n) sweep the CSV
+fixture and its binary .nbt twin must carry identical traces, and every
+backend the kernel supports (simulate / cost / record / analytic) must
+reproduce the golden H surface bit-for-bit at every fold and σ.
+
 Usage:
   nobl check --results FILE [--thresholds FILE]
+  nobl check --golden DIR
 
 Options:
   --results FILE      result JSON produced by `nobl run --json`
   --thresholds FILE   thresholds document (see bench/thresholds/)
+  --golden DIR        replay csv + binary golden traces under all backends
   --help              this text
 
 Exit code 0 = valid (and within thresholds), 1 = violations (one per line
@@ -497,9 +616,72 @@ on stderr).
 )";
 }
 
+/// `nobl check --golden DIR`: certify the archived fixtures. Both format
+/// twins must agree, and each supported backend's live run must reproduce
+/// the golden H cells bit-identically (the acceptance gate CI runs against
+/// tests/golden/).
+int check_golden(const std::string& dir) {
+  std::vector<std::string> violations;
+  const CampaignSpec spec = builtin_campaign("golden");
+  for (const AlgoSweep& sweep : spec.sweeps) {
+    const AlgoEntry& entry = AlgoRegistry::instance().at(sweep.algorithm);
+    for (const std::uint64_t n : sweep.sizes) {
+      const std::string stem =
+          dir + "/" + sweep.algorithm + "_n" + std::to_string(n);
+      const std::string where =
+          sweep.algorithm + " n=" + std::to_string(n);
+      Trace golden;
+      Trace twin;
+      try {
+        golden = load_trace_any(stem + ".csv");
+        twin = load_trace_any(stem + kTraceBinExtension);
+      } catch (const std::exception& e) {
+        violations.push_back(where + ": " + e.what());
+        continue;
+      }
+      std::ostringstream from_csv;
+      std::ostringstream from_bin;
+      write_trace_csv(from_csv, golden);
+      write_trace_csv(from_bin, twin);
+      if (from_csv.str() != from_bin.str()) {
+        violations.push_back(where +
+                             ": csv and binary goldens carry different "
+                             "traces — regenerate both");
+        continue;
+      }
+      for (const BackendKind backend : all_backend_kinds()) {
+        if (!entry.supports(backend)) continue;
+        const Trace live = entry.runner(
+            n, RunOptions{ExecutionPolicy::sequential(), backend});
+        for (const std::uint64_t p : pow2_range(golden.v())) {
+          const unsigned log_p = log2_exact(p);
+          for (const double sigma : sigma_grid(n, p)) {
+            const double want = communication_complexity(golden, log_p, sigma);
+            const double got = communication_complexity(live, log_p, sigma);
+            if (want != got) {
+              std::ostringstream what;
+              what << where << " [" << to_string(backend) << "] p=" << p
+                   << " sigma=" << sigma << ": H drifted from golden (" << got
+                   << " != " << want << ")";
+              violations.push_back(what.str());
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const auto& v : violations) std::cerr << "CHECK: " << v << "\n";
+  if (!violations.empty()) return 1;
+  std::cout << "nobl check: OK (golden replay: csv + bin fixtures, every "
+               "backend, "
+            << dir << ")\n";
+  return 0;
+}
+
 int cmd_check(const std::vector<std::string>& args) {
   std::string results_path;
   std::string thresholds_path;
+  std::string golden_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto next = [&]() -> const std::string& {
@@ -515,9 +697,18 @@ int cmd_check(const std::vector<std::string>& args) {
       results_path = next();
     } else if (arg == "--thresholds") {
       thresholds_path = next();
+    } else if (arg == "--golden") {
+      golden_dir = next();
     } else {
       return usage_error("unknown option \"" + arg + "\"", "check");
     }
+  }
+  if (!golden_dir.empty()) {
+    if (!results_path.empty() || !thresholds_path.empty()) {
+      return usage_error("--golden is exclusive with --results/--thresholds",
+                         "check");
+    }
+    return check_golden(golden_dir);
   }
   if (results_path.empty()) {
     return usage_error("--results FILE is required", "check");
@@ -548,9 +739,11 @@ Subcommands:
   run      execute a campaign (algorithms x sizes x backends x engines),
            emit text/JSON
   certify  optimality/wiseness verdicts per Defs. 3.2/5.2 and Theorem 3.4
-  trace    export / inspect / replay recorded traces (trace_io CSV)
+  trace    export / inspect / replay recorded traces (csv or binary .nbt)
+  convert  translate a trace file between the csv and binary formats
   list     enumerate registered algorithms and builtin campaigns
-  check    validate result JSON, optionally gate on a thresholds file
+  check    validate result JSON or replay golden traces (--golden DIR),
+           optionally gate on a thresholds file
 
 `nobl <subcommand> --help` documents each one.
 
@@ -573,6 +766,7 @@ int dispatch(int argc, char** argv) {
   if (command == "run") return cmd_run(args);
   if (command == "certify") return cmd_certify(args);
   if (command == "trace") return cmd_trace(args);
+  if (command == "convert") return cmd_convert(args);
   if (command == "list") return cmd_list(args);
   if (command == "check") return cmd_check(args);
   return usage_error("unknown subcommand \"" + command + "\"", "--help");

@@ -161,10 +161,10 @@ Trace AnalyticBackend::memoized_trace(const AlgoEntry& entry,
   }
   const std::string key = entry.name + "/" + std::to_string(n);
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  const auto it = key_cache_.find(key);
+  if (it != key_cache_.end()) {
     ++stats_.memo_hits;
-    return it->second;
+    return trace_cache_.at(it->second);
   }
   ++stats_.memo_misses;
   Schedule schedule;
@@ -172,14 +172,22 @@ Trace AnalyticBackend::memoized_trace(const AlgoEntry& entry,
   record_options.backend = BackendKind::kRecord;
   record_options.capture = &schedule;
   (void)entry.runner(n, record_options);
+  // Content addressing: the stored trace is keyed by the schedule's
+  // columnar content, so two keys recording identical blocks share one
+  // entry (and the second skips the optimize/replay pass).
+  const std::uint64_t hash = schedule.content_hash();
+  key_cache_.emplace(std::move(key), hash);
+  const auto cached = trace_cache_.find(hash);
+  if (cached != trace_cache_.end()) return cached->second;
   Trace trace = optimize_schedule(schedule).replay_trace();
-  cache_.emplace(std::move(key), trace);
+  trace_cache_.emplace(hash, trace);
   return trace;
 }
 
 void AnalyticBackend::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  cache_.clear();
+  key_cache_.clear();
+  trace_cache_.clear();
   stats_ = Stats{};
 }
 

@@ -95,8 +95,12 @@ class AnalyticBackend {
   [[nodiscard]] Trace trace_for(const AlgoEntry& entry, std::uint64_t n);
 
   /// The memoization path alone: record once, optimize (bsp/ir_opt.hpp),
-  /// cache the replayed trace under the content key "<kernel>/<n>".
-  /// Throws std::invalid_argument for kernels with
+  /// cache the replayed trace content-addressed. The cache is two-level —
+  /// "<kernel>/<n>" resolves to the recorded Schedule's content_hash(),
+  /// which keys the stored trace — so a (kernel, n) hit still skips
+  /// execution entirely, while kernels that record identical columnar
+  /// blocks (e.g. the same pattern at two registry names) share one
+  /// stored trace. Throws std::invalid_argument for kernels with
   /// input_independent == false — a memoized data-dependent trace would
   /// silently pin one input's degrees.
   [[nodiscard]] Trace memoized_trace(const AlgoEntry& entry, std::uint64_t n);
@@ -110,7 +114,11 @@ class AnalyticBackend {
   AnalyticBackend() = default;
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Trace> cache_;
+  /// Level 1: "<kernel>/<n>" -> content hash of the schedule it records.
+  std::unordered_map<std::string, std::uint64_t> key_cache_;
+  /// Level 2: content hash -> replayed trace (shared across keys whose
+  /// recorded schedules carry identical columnar blocks).
+  std::unordered_map<std::uint64_t, Trace> trace_cache_;
   Stats stats_;
 };
 

@@ -5,12 +5,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "bsp/trace_store.hpp"
 #include "core/wiseness.hpp"
 #include "util/bits.hpp"
 
 namespace nobl {
 
-OptimalityReport certify_optimality(const Trace& trace, std::uint64_t n,
+template <typename TraceLike>
+OptimalityReport certify_optimality(const TraceLike& trace, std::uint64_t n,
                                     unsigned log_p,
                                     const LowerBoundFn& lower_bound,
                                     std::span<const double> sigmas) {
@@ -40,6 +42,14 @@ OptimalityReport certify_optimality(const Trace& trace, std::uint64_t n,
   report.beta_at_p = h_p > 0 ? lower_bound(n, report.p, 0.0) / h_p : 0.0;
   return report;
 }
+
+// Explicit instantiations: the in-memory Trace and the mmap-backed reader.
+template OptimalityReport certify_optimality<Trace>(
+    const Trace&, std::uint64_t, unsigned, const LowerBoundFn&,
+    std::span<const double>);
+template OptimalityReport certify_optimality<TraceReader>(
+    const TraceReader&, std::uint64_t, unsigned, const LowerBoundFn&,
+    std::span<const double>);
 
 double dbsp_lower_bound(const LowerBoundFn& lower_bound, std::uint64_t n,
                         const DbspParams& params) {

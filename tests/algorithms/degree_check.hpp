@@ -59,8 +59,9 @@ inline std::vector<ExpectedStep> schedule_to_expected(
   for (const ScheduleStep& step : schedule.steps) {
     ExpectedStep expected;
     expected.label = step.label;
-    for (const ScheduleSend& send : step.sends) {
-      expected.messages.emplace_back(send.src, send.dst, send.count);
+    for (std::size_t i = 0; i < step.size(); ++i) {
+      expected.messages.emplace_back(step.src()[i], step.dst()[i],
+                                     step.count()[i]);
     }
     out.push_back(std::move(expected));
   }

@@ -121,13 +121,19 @@ TEST(RecordBackend, CapturesTheScheduleInExecutionOrder) {
   EXPECT_EQ(schedule.log_v, 2u);
   ASSERT_EQ(schedule.steps.size(), 2u);
   EXPECT_EQ(schedule.steps[0].label, 0u);
-  ASSERT_EQ(schedule.steps[0].sends.size(), 3u);
-  EXPECT_EQ(schedule.steps[0].sends[0], (ScheduleSend{1, 3, 1, false}));
-  EXPECT_EQ(schedule.steps[0].sends[1], (ScheduleSend{1, 0, 1, false}));
-  EXPECT_EQ(schedule.steps[0].sends[2], (ScheduleSend{2, 0, 4, true}));
+  ASSERT_EQ(schedule.steps[0].size(), 3u);
+  EXPECT_EQ(schedule.steps[0][0], (ScheduleSend{1, 3, 1, false}));
+  EXPECT_EQ(schedule.steps[0][1], (ScheduleSend{1, 0, 1, false}));
+  EXPECT_EQ(schedule.steps[0][2], (ScheduleSend{2, 0, 4, true}));
   EXPECT_EQ(schedule.steps[1].label, 1u);
-  EXPECT_EQ(schedule.steps[1].sends.size(), 4u);
+  EXPECT_EQ(schedule.steps[1].size(), 4u);
   EXPECT_EQ(schedule.total_sends(), 7u);
+  // The columnar block exposes the same rows through its columns.
+  EXPECT_EQ(schedule.steps[0].src(), (std::vector<std::uint64_t>{1, 1, 2}));
+  EXPECT_EQ(schedule.steps[0].dst(), (std::vector<std::uint64_t>{3, 0, 0}));
+  EXPECT_EQ(schedule.steps[0].count(), (std::vector<std::uint64_t>{1, 1, 4}));
+  EXPECT_EQ(schedule.steps[0].dummy_words(),
+            (std::vector<std::uint64_t>{0b100}));
 }
 
 TEST(RecordBackend, ReplayReproducesTheTraceBitForBit) {
@@ -199,8 +205,29 @@ TEST(Backend, RunOptionsConvertImplicitly) {
 TEST(Schedule, ReplayRejectsOutOfRangeLabels) {
   Schedule schedule;
   schedule.log_v = 2;
-  schedule.steps.push_back({5, {}});
+  schedule.steps.emplace_back(5);
   EXPECT_THROW((void)schedule.replay_trace(), std::invalid_argument);
+}
+
+TEST(Schedule, ContentHashTracksColumnContent) {
+  const auto recorded = [](std::uint64_t seed) {
+    RecordBackend bk(8);
+    bk.superstep(0, [seed](auto& vp) {
+      if (vp.id() == 0) vp.send(seed, 1);
+    });
+    return bk.schedule();
+  };
+  // Deterministic, equal for equal patterns, different when any column
+  // (here: dst) changes — the property the analytic memo cache relies on.
+  EXPECT_EQ(recorded(3).content_hash(), recorded(3).content_hash());
+  EXPECT_NE(recorded(3).content_hash(), recorded(5).content_hash());
+  // The dummy flag participates too: same (src, dst, count), different bit.
+  Schedule real;
+  real.log_v = 3;
+  real.steps = {ScheduleStep{0, {{0, 1, 1, false}}}};
+  Schedule dummy = real;
+  dummy.steps = {ScheduleStep{0, {{0, 1, 1, true}}}};
+  EXPECT_NE(real.content_hash(), dummy.content_hash());
 }
 
 }  // namespace

@@ -29,17 +29,31 @@ void expect_traces_identical(const Trace& a, const Trace& b) {
   }
 }
 
-/// A full dense all-to-all in recorded (sequential-driver) order: VP src
-/// sends one unit message to every dst, self included.
-ScheduleStep dense_step(std::uint64_t v) {
-  ScheduleStep step;
-  step.label = 0;
-  for (std::uint64_t src = 0; src < v; ++src) {
-    for (std::uint64_t dst = 0; dst < v; ++dst) {
-      step.sends.push_back({src, dst, 1, false});
-    }
+/// Rebuild a columnar block from mutated rows (the tests perturb patterns
+/// row-wise, then re-encode).
+ScheduleStep step_from_rows(unsigned label,
+                            const std::vector<ScheduleSend>& rows) {
+  ScheduleStep step(label);
+  for (const ScheduleSend& row : rows) {
+    step.push(row.src, row.dst, row.count, row.dummy);
   }
   return step;
+}
+
+/// A full dense all-to-all in recorded (sequential-driver) order: VP src
+/// sends one unit message to every dst, self included.
+std::vector<ScheduleSend> dense_rows(std::uint64_t v) {
+  std::vector<ScheduleSend> rows;
+  for (std::uint64_t src = 0; src < v; ++src) {
+    for (std::uint64_t dst = 0; dst < v; ++dst) {
+      rows.push_back({src, dst, 1, false});
+    }
+  }
+  return rows;
+}
+
+ScheduleStep dense_step(std::uint64_t v) {
+  return step_from_rows(0, dense_rows(v));
 }
 
 TEST(IrOpt, ClassifiesDenseAllToAll) {
@@ -67,8 +81,9 @@ TEST(IrOpt, DenseNearMissesFallBackToIrregular) {
   // must still produce the identical dense degrees.
   Schedule reordered;
   reordered.log_v = log_v;
-  reordered.steps.push_back(dense_step(4));
-  std::swap(reordered.steps[0].sends[0], reordered.steps[0].sends[1]);
+  std::vector<ScheduleSend> rows = dense_rows(4);
+  std::swap(rows[0], rows[1]);
+  reordered.steps.push_back(step_from_rows(0, rows));
   EXPECT_EQ(classify_step(reordered.steps[0], log_v),
             StepPattern::kIrregular);
   Schedule dense;
@@ -81,9 +96,10 @@ TEST(IrOpt, DenseNearMissesFallBackToIrregular) {
   // must account the *actual* events, not the pattern's formula.
   Schedule skewed;
   skewed.log_v = log_v;
-  skewed.steps.push_back(dense_step(4));
-  skewed.steps[0].sends[5].count = 2;
-  skewed.steps[0].sends.pop_back();
+  std::vector<ScheduleSend> skewed_rows = dense_rows(4);
+  skewed_rows[5].count = 2;
+  skewed_rows.pop_back();
+  skewed.steps.push_back(step_from_rows(0, skewed_rows));
   EXPECT_EQ(classify_step(skewed.steps[0], log_v), StepPattern::kIrregular);
   expect_traces_identical(skewed.replay_trace(),
                           optimize_schedule(skewed).replay_trace());
@@ -94,10 +110,9 @@ TEST(IrOpt, ClassifiesConstantXorShift) {
   Schedule schedule;
   schedule.log_v = log_v;
   for (const std::uint64_t d : {1u, 2u, 5u}) {
-    ScheduleStep step;
-    step.label = 0;
+    ScheduleStep step(0);
     for (std::uint64_t src = 0; src < 8; ++src) {
-      step.sends.push_back({src, src ^ d, 1, false});
+      step.push(src, src ^ d, 1, false);
     }
     schedule.steps.push_back(step);
     EXPECT_EQ(classify_step(step, log_v), StepPattern::kShift) << "d=" << d;
@@ -111,20 +126,16 @@ TEST(IrOpt, ClassifiesTreeRoundsAndRejectsCrowdedClusters) {
   const unsigned log_v = 3;
   // A reduction round at distance 2: one sender and one receiver per
   // cluster at the coarsest crossing fold.
-  ScheduleStep round;
-  round.label = 0;
-  round.sends = {{2, 0, 1, false}, {6, 4, 1, false}};
+  const ScheduleStep round(0, {{2, 0, 1, false}, {6, 4, 1, false}});
   EXPECT_EQ(classify_step(round, log_v), StepPattern::kTree);
 
   // Four messages all crossing the top fold out of the SAME half: shared
   // XOR, but the 0-cluster holds four senders, so h(2) = 4, not 1. The
   // distinctness rule must refuse tree here.
-  ScheduleStep crowded;
-  crowded.label = 0;
-  crowded.sends = {{0, 4, 1, false},
-                   {1, 5, 1, false},
-                   {2, 6, 1, false},
-                   {3, 7, 1, false}};
+  const ScheduleStep crowded(0, {{0, 4, 1, false},
+                                 {1, 5, 1, false},
+                                 {2, 6, 1, false},
+                                 {3, 7, 1, false}});
   EXPECT_EQ(classify_step(crowded, log_v), StepPattern::kIrregular);
 
   Schedule schedule;
@@ -140,9 +151,7 @@ TEST(IrOpt, FusesIdenticalConsecutiveSupersteps) {
   schedule.log_v = log_v;
   schedule.steps.push_back(dense_step(4));
   schedule.steps.push_back(dense_step(4));  // identical: fused
-  ScheduleStep irregular;
-  irregular.label = 1;
-  irregular.sends = {{0, 1, 1, false}, {0, 1, 3, true}};
+  const ScheduleStep irregular(1, {{0, 1, 1, false}, {0, 1, 3, true}});
   schedule.steps.push_back(irregular);
   schedule.steps.push_back(irregular);  // identical irregular: fused too
 
@@ -220,7 +229,7 @@ TEST(IrOpt, PatternNamesAreStable) {
 TEST(IrOpt, RejectsOutOfRangeLabels) {
   Schedule schedule;
   schedule.log_v = 2;
-  schedule.steps.push_back({5, {}});
+  schedule.steps.emplace_back(5);
   EXPECT_THROW((void)optimize_schedule(schedule), std::invalid_argument);
 }
 

@@ -102,5 +102,69 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_EQ(t.supersteps(), 1u);
 }
 
+// Regression: malformed numeric fields used to be reported without any
+// position; every parse error now carries line and column, matching the
+// campaign parser's precedent.
+TEST(TraceIo, ParseErrorsCarryLineAndColumn) {
+  const auto message_of = [](const std::string& input) -> std::string {
+    std::stringstream ss(input);
+    try {
+      (void)read_trace_csv(ss);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Non-numeric field on data line 3, third field (column 5 of "0,1,x,1,1").
+  EXPECT_NE(message_of("log_v,2\n0,1,0,1,1\n0,1,x,1,1\n")
+                .find("line 3, column 5"),
+            std::string::npos);
+  // Overflowing field: second field of line 2.
+  EXPECT_NE(message_of("log_v,2\n0,18446744073709551616,0,1,1\n")
+                .find("line 2, column 3"),
+            std::string::npos);
+  // Bad header value: column 7 is just past the "log_v," prefix.
+  EXPECT_NE(message_of("log_v,abc\n").find("line 1, column 7"),
+            std::string::npos);
+  // Wrong field count and label range are line-scoped.
+  EXPECT_NE(message_of("log_v,2\n0,1,0\n").find("line 2"), std::string::npos);
+  EXPECT_NE(message_of("log_v,2\n5,1,0,1,1\n").find("line 2"),
+            std::string::npos);
+  // Trace::append invariants surface with the line too.
+  EXPECT_NE(message_of("log_v,2\n0,1,7,1,1\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(TraceIo, BinaryRoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace_bin(ss, original);
+  const Trace restored = read_trace_bin(ss);
+  ASSERT_EQ(restored.log_v(), original.log_v());
+  ASSERT_EQ(restored.supersteps(), original.supersteps());
+  for (std::size_t i = 0; i < original.steps().size(); ++i) {
+    EXPECT_EQ(restored.steps()[i].label, original.steps()[i].label);
+    EXPECT_EQ(restored.steps()[i].messages, original.steps()[i].messages);
+    EXPECT_EQ(restored.steps()[i].degree, original.steps()[i].degree);
+  }
+  for (unsigned log_p = 1; log_p <= 3; ++log_p) {
+    EXPECT_DOUBLE_EQ(communication_complexity(restored, log_p, 2.5),
+                     communication_complexity(original, log_p, 2.5));
+  }
+}
+
+TEST(TraceIo, BinaryAndCsvArePinnedTogether) {
+  // The differential contract: parsing one format and re-serializing via
+  // the other must round-trip to byte-identical CSV.
+  const Trace original = sample_trace();
+  std::stringstream csv1;
+  write_trace_csv(csv1, original);
+  std::stringstream bin;
+  write_trace_bin(bin, original);
+  std::stringstream csv2;
+  write_trace_csv(csv2, read_trace_bin(bin));
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
 }  // namespace
 }  // namespace nobl
