@@ -1,0 +1,358 @@
+// Load generator for `nobl serve` (ISSUE 8 acceptance bench).
+//
+// Three scenarios, reported as one table:
+//
+//   baseline  — the per-process `nobl run` path: parse the spec, execute
+//               the cell, serialize the result document, one query at a
+//               time in this process. (Conservative: a real `nobl run`
+//               also pays exec + process startup per query, so the serve
+//               speedup measured against this baseline is a floor.)
+//   hot       — N client connections hammering the server with single-cell
+//               cost queries drawn from a small pre-warmed key set; every
+//               query should be a memory-tier hit.
+//   mixed     — the same clients with an 80/20 hot/cold key distribution;
+//               cold keys sweep (kernel, n) pairs across the registry, so
+//               the cache keeps absorbing new entries while hot traffic
+//               continues.
+//
+// Each row reports sustained queries/s, the client-observed cache hit rate
+// (memory + disk + coalesced over total cells), and the speedup over the
+// baseline. Acceptance: hot >= 10x baseline queries/s.
+//
+// Modes:
+//   --smoke                  reduced counts for CI; exits 1 when the hot
+//                            speedup is below 10x (the acceptance gate)
+//   NOBL_SERVE_SOCKET=path   drive an already-running server instead of
+//                            spawning an in-process one (the CI serve job
+//                            starts `nobl serve` and points this at it)
+//
+// After the tables, google-benchmark times the transport-free hot paths
+// (request framing, raw-member splicing) so protocol regressions show up
+// without socket noise.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/campaign.hpp"
+#include "core/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace nobl::serve {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One single-cell cost query, pre-parsed so the timed loops never touch
+/// the parser on the client side.
+struct Query {
+  std::string label;  ///< "fft:4096"
+  CampaignSpec spec;
+};
+
+Query make_query(const std::string& kernel, std::uint64_t n) {
+  Query q;
+  q.label = kernel + ":" + std::to_string(n);
+  q.spec = parse_campaign_spec("name = bench-serve\nalgorithms = " + q.label +
+                               "\nbackends = cost\n");
+  return q;
+}
+
+/// The hot working set: a handful of keys every client keeps re-asking for.
+std::vector<Query> hot_queries() {
+  return {make_query("fft", 1024), make_query("fft", 4096),
+          make_query("scan", 4096), make_query("sort", 1024),
+          make_query("transpose", 1024), make_query("broadcast", 256)};
+}
+
+/// Cold keys: every registry kernel at a few small admissible sizes,
+/// deduped. Wide enough (dozens of distinct cache keys) that mixed traffic
+/// keeps inserting fresh entries for the whole run, but small enough that a
+/// cold cell costs milliseconds, not seconds — this is a load generator,
+/// not a kernel bench.
+std::vector<Query> cold_queries() {
+  std::vector<Query> out;
+  std::set<std::string> seen;
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    for (unsigned shift = 4; shift <= 8; shift += 2) {
+      const std::uint64_t n =
+          entry.nearest_admissible(std::uint64_t{1} << shift);
+      if (n == 0) continue;
+      Query q = make_query(entry.name, n);
+      if (seen.insert(q.label).second) out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+/// Client-side tallies summed over every ClientReport in a scenario.
+struct LoadResult {
+  std::uint64_t queries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t hits = 0;  ///< memory + disk + coalesced
+  double elapsed_s = 0.0;
+
+  [[nodiscard]] double qps() const {
+    return elapsed_s > 0.0 ? static_cast<double>(queries) / elapsed_s : 0.0;
+  }
+  [[nodiscard]] double hit_rate() const {
+    return cells > 0 ? static_cast<double>(hits) / static_cast<double>(cells)
+                     : 0.0;
+  }
+};
+
+/// `clients` connections, each issuing `per_client` queries back to back.
+/// hot_share in [0,1] picks from `hot` (else `cold`) per query.
+LoadResult drive_load(const std::string& socket_path,
+                      const std::vector<Query>& hot,
+                      const std::vector<Query>& cold, double hot_share,
+                      unsigned clients, unsigned per_client) {
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> cells{0};
+  std::atomic<std::uint64_t> hits{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(0xbe7c5eULL + c);
+      ServeClient client(socket_path);
+      for (unsigned i = 0; i < per_client; ++i) {
+        const bool pick_hot = cold.empty() || rng.unit() < hot_share;
+        const Query& q = pick_hot ? hot[rng.below(hot.size())]
+                                  : cold[rng.below(cold.size())];
+        const ClientReport report = submit_campaign(client, q.spec);
+        if (!report.ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        cells.fetch_add(report.runs, std::memory_order_relaxed);
+        hits.fetch_add(report.tier_memory + report.tier_disk +
+                           report.tier_coalesced,
+                       std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadResult out;
+  out.queries = static_cast<std::uint64_t>(clients) * per_client;
+  out.failures = failures.load();
+  out.cells = cells.load();
+  out.hits = hits.load();
+  out.elapsed_s = seconds_since(start);
+  return out;
+}
+
+/// The per-process `nobl run` path: parse + execute + serialize, one query
+/// at a time, cycling through the hot set.
+double baseline_qps(const std::vector<Query>& hot, unsigned iterations) {
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < iterations; ++i) {
+    const CampaignSpec spec = parse_campaign_spec(
+        "name = bench-serve\nalgorithms = " + hot[i % hot.size()].label +
+        "\nbackends = cost\n");
+    const CampaignResult result = run_campaign(spec);
+    std::ostringstream os;
+    write_campaign_json(os, result);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+  return static_cast<double>(iterations) / seconds_since(start);
+}
+
+int report(bool smoke) {
+  std::cout
+      << "\n================================================================\n"
+      << "  nobl serve load generator (cost queries over AF_UNIX)"
+      << (smoke ? "  [smoke]" : "")
+      << "\n================================================================\n";
+
+  // An external server (CI mode) or a private in-process one.
+  const char* external = std::getenv("NOBL_SERVE_SOCKET");
+  const std::string socket_path =
+      external != nullptr
+          ? std::string(external)
+          : "/tmp/nobl_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  const std::string cache_dir =
+      "/tmp/nobl_bench_serve_cache_" + std::to_string(::getpid());
+  std::thread server;
+  if (external == nullptr) {
+    std::filesystem::remove(socket_path);
+    std::filesystem::remove_all(cache_dir);
+    SocketServerOptions options;
+    options.socket_path = socket_path;
+    options.config.cache_dir = cache_dir;
+    options.config.workers = std::max(2u, std::thread::hardware_concurrency());
+    options.config.max_queue = 4096;
+    server = std::thread([options] { run_serve_socket(options); });
+  }
+  // Wait until the server answers a ping (covers both modes).
+  bool up = false;
+  for (int i = 0; i < 500 && !up; ++i) {
+    try {
+      ServeClient probe(socket_path);
+      probe.send_line(kDirectivePing);
+      up = probe.read_line().has_value();
+    } catch (const std::invalid_argument&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (!up) {
+    std::cerr << "bench_serve: no server answering on " << socket_path << "\n";
+    return 1;
+  }
+
+  const std::vector<Query> hot = hot_queries();
+  const std::vector<Query> cold = cold_queries();
+  const unsigned clients = smoke ? 4 : 8;
+  const unsigned per_client = smoke ? 75 : 500;
+  const unsigned baseline_iters = smoke ? 12 : 48;
+
+  const double base_qps = baseline_qps(hot, baseline_iters);
+
+  // Warm the hot set once so the hot scenario measures steady state.
+  {
+    ServeClient warmer(socket_path);
+    for (const Query& q : hot) (void)submit_campaign(warmer, q.spec);
+  }
+  const LoadResult hot_load =
+      drive_load(socket_path, hot, {}, 1.0, clients, per_client);
+  const LoadResult mixed_load =
+      drive_load(socket_path, hot, cold, 0.8, clients, per_client);
+
+  Table t("serve load: sustained single-cell cost queries",
+          {"scenario", "clients", "queries", "fail", "elapsed s", "queries/s",
+           "hit rate", "vs `nobl run`"});
+  t.row()
+      .add("nobl run (in-process)")
+      .add(1u)
+      .add(std::uint64_t{baseline_iters})
+      .add(std::uint64_t{0})
+      .add(static_cast<double>(baseline_iters) / base_qps)
+      .add(base_qps)
+      .add("-")
+      .add(1.0);
+  t.row()
+      .add("serve hot")
+      .add(clients)
+      .add(hot_load.queries)
+      .add(hot_load.failures)
+      .add(hot_load.elapsed_s)
+      .add(hot_load.qps())
+      .add(hot_load.hit_rate())
+      .add(hot_load.qps() / base_qps);
+  t.row()
+      .add("serve mixed 80/20")
+      .add(clients)
+      .add(mixed_load.queries)
+      .add(mixed_load.failures)
+      .add(mixed_load.elapsed_s)
+      .add(mixed_load.qps())
+      .add(mixed_load.hit_rate())
+      .add(mixed_load.qps() / base_qps);
+  t.print(std::cout);
+
+  const double speedup = hot_load.qps() / base_qps;
+  std::cout << "\n  acceptance: hot-cache serve is " << Table::format_double(speedup)
+            << "x the per-process `nobl run` path (gate: >= 10x)\n";
+
+  if (external == nullptr) {
+    try {
+      ServeClient closer(socket_path);
+      closer.send_line(kDirectiveShutdown);
+      (void)closer.read_line();
+    } catch (const std::exception&) {
+    }
+    server.join();
+    std::filesystem::remove_all(cache_dir);
+  }
+
+  const bool failed_queries =
+      hot_load.failures != 0 || mixed_load.failures != 0;
+  if (failed_queries) {
+    std::cerr << "bench_serve: some queries failed\n";
+    return 1;
+  }
+  if (speedup < 10.0) {
+    std::cerr << "bench_serve: hot speedup " << speedup << " below the 10x "
+              << "acceptance gate\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Transport-free hot paths under google-benchmark.
+// ---------------------------------------------------------------------------
+
+void BM_FramerPipelinedSpecs(benchmark::State& state) {
+  std::string batch;
+  for (int i = 0; i < 32; ++i) {
+    batch += "name = bench\nalgorithms = fft:4096\nbackends = cost\n.\n";
+  }
+  for (auto _ : state) {
+    RequestFramer framer;
+    framer.feed(batch);
+    std::uint64_t specs = 0;
+    while (framer.next().has_value()) ++specs;
+    benchmark::DoNotOptimize(specs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_FramerPipelinedSpecs);
+
+void BM_RawMemberSplice(benchmark::State& state) {
+  // A realistic served envelope: the run object dominates the line.
+  std::string doc = R"({"serve_schema_version":1,"type":"run","request":3,)"
+                    R"("seq":7,"run":{"algorithm":"fft","cells":[)";
+  for (int i = 0; i < 64; ++i) {
+    doc += R"({"sigma":0.5,"fold":8,"h":123,"cost":456.0},)";
+  }
+  doc += R"({"sigma":1.0}]},"server":{"cache":"memory"}})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw_member(doc, "run").size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_RawMemberSplice);
+
+}  // namespace
+}  // namespace nobl::serve
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  const int status = nobl::serve::report(smoke);
+  if (status != 0 || smoke) return status;  // smoke mode: tables + gate only
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

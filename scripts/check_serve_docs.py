@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check docs/SERVE.md's metrics field reference against a live stats doc.
+
+Usage:
+    python3 scripts/check_serve_docs.py docs/SERVE.md serve-stats.json
+
+`serve-stats.json` is the output of `nobl serve --stats --json FILE` against
+a running server. The script flattens the numeric fields of the doc's
+"stats" object into dot-paths (``stats.cache.hit_rate`` etc.) and fails
+when
+
+  * a field the server actually reports is not documented in SERVE.md's
+    metrics reference (backtick-quoted dot-path), or
+  * SERVE.md documents a ``stats.*`` dot-path the server no longer emits.
+
+The CI serve job runs this, so the metrics reference cannot drift from the
+wire format in either direction.
+"""
+
+import json
+import re
+import sys
+
+DOC_PATH = re.compile(r"`(stats(?:\.[A-Za-z0-9_]+)+)`")
+
+
+def flatten(node, prefix):
+    """Dot-paths of every numeric leaf under `node`."""
+    paths = []
+    for key, value in node.items():
+        path = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            paths.extend(flatten(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            paths.append(path)
+    return paths
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    doc_file, stats_file = sys.argv[1], sys.argv[2]
+
+    with open(stats_file, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("type") != "stats" or "stats" not in doc:
+        print(f"{stats_file}: not a serve stats document", file=sys.stderr)
+        return 1
+    live = set(flatten(doc["stats"], "stats"))
+
+    with open(doc_file, encoding="utf-8") as f:
+        documented = set(DOC_PATH.findall(f.read()))
+
+    failures = []
+    for path in sorted(live - documented):
+        failures.append(f"{doc_file}: server reports `{path}` but the "
+                        "metrics reference does not document it")
+    for path in sorted(documented - live):
+        failures.append(f"{doc_file}: documents `{path}` but the server "
+                        "does not report it")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        return 1
+    print(f"{doc_file}: metrics reference matches {stats_file} "
+          f"({len(live)} fields)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -296,24 +296,15 @@ std::vector<std::string> builtin_campaign_names() {
 // Execution.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Evaluate the full metric surface for one (algorithm, n, backend, engine)
-/// cell and append the RunResult.
-void run_one_cell(const CampaignSpec& spec, const AlgoEntry& entry,
-                  std::uint64_t n, BackendKind backend,
-                  const ExecutionPolicy& policy, std::ostream* progress,
-                  std::vector<RunResult>* runs) {
-  if (progress != nullptr) {
-    *progress << "nobl: running " << entry.name << " n=" << n << " ["
-              << to_string(policy) << ", " << to_string(backend) << "]\n";
-  }
+RunResult evaluate_run(const CampaignSpec& spec, const AlgoEntry& entry,
+                       std::uint64_t n, BackendKind backend,
+                       const ExecutionPolicy& policy, Trace trace) {
   RunResult run;
   run.algorithm = entry.name;
   run.engine = to_string(policy);
   run.backend = to_string(backend);
   run.n = n;
-  run.trace = entry.runner(n, RunOptions{policy, backend});
+  run.trace = std::move(trace);
   run.log_v = run.trace.log_v();
   run.supersteps = run.trace.supersteps();
   run.messages = run.trace.total_messages();
@@ -348,7 +339,23 @@ void run_one_cell(const CampaignSpec& spec, const AlgoEntry& entry,
     run.certification = certify_optimality(run.trace, n, log_top,
                                            entry.lower_bound, grid);
   }
-  runs->push_back(std::move(run));
+  return run;
+}
+
+namespace {
+
+/// Execute one (algorithm, n, backend, engine) cell, evaluate its metric
+/// surface, and append the RunResult.
+void run_one_cell(const CampaignSpec& spec, const AlgoEntry& entry,
+                  std::uint64_t n, BackendKind backend,
+                  const ExecutionPolicy& policy, std::ostream* progress,
+                  std::vector<RunResult>* runs) {
+  if (progress != nullptr) {
+    *progress << "nobl: running " << entry.name << " n=" << n << " ["
+              << to_string(policy) << ", " << to_string(backend) << "]\n";
+  }
+  runs->push_back(evaluate_run(spec, entry, n, backend, policy,
+                               entry.runner(n, RunOptions{policy, backend})));
 }
 
 }  // namespace
@@ -393,50 +400,84 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result) {
   for (const BackendKind kind : result.spec.backends) w.value(to_string(kind));
   w.end_array();
   w.key("runs").begin_array();
-  for (const RunResult& run : result.runs) {
-    w.begin_object();
-    w.key("algorithm").value(run.algorithm);
-    w.key("engine").value(run.engine);
-    w.key("backend").value(run.backend.empty() ? "simulate" : run.backend);
-    w.key("n").value(run.n);
-    w.key("log_v").value(run.log_v);
-    w.key("supersteps").value(run.supersteps);
-    w.key("messages").value(run.messages);
-    w.key("cells").begin_array();
-    for (const CellResult& cell : run.cells) {
-      w.begin_object();
-      w.key("p").value(cell.p);
-      w.key("sigma").value(cell.sigma);
-      w.key("h").value(cell.h);
-      w.key("predicted").value(cell.predicted);
-      w.key("lower_bound").value(cell.lower_bound);
-      w.key("ratio_predicted").value(cell.ratio_predicted);
-      w.key("ratio_lb").value(cell.ratio_lb);
-      w.end_object();
-    }
-    w.end_array();
-    w.key("folds").begin_array();
-    for (const FoldResult& fold : run.folds) {
-      w.begin_object();
-      w.key("p").value(fold.p);
-      w.key("alpha").value(fold.alpha);
-      w.key("gamma").value(fold.gamma);
-      w.end_object();
-    }
-    w.end_array();
-    w.key("certification").begin_object();
-    w.key("p").value(run.certification.p);
-    w.key("alpha").value(run.certification.alpha);
-    w.key("gamma").value(run.certification.gamma);
-    w.key("beta_min").value(run.certification.beta_min);
-    w.key("beta_at_p").value(run.certification.beta_at_p);
-    w.key("guarantee").value(run.certification.guarantee());
-    w.end_object();
-    w.end_object();
-  }
+  for (const RunResult& run : result.runs) write_run_json(w, run);
   w.end_array();
   w.end_object();
   os << '\n';
+}
+
+void write_run_json(JsonWriter& w, const RunResult& run) {
+  w.begin_object();
+  w.key("algorithm").value(run.algorithm);
+  w.key("engine").value(run.engine);
+  w.key("backend").value(run.backend.empty() ? "simulate" : run.backend);
+  w.key("n").value(run.n);
+  w.key("log_v").value(run.log_v);
+  w.key("supersteps").value(run.supersteps);
+  w.key("messages").value(run.messages);
+  w.key("cells").begin_array();
+  for (const CellResult& cell : run.cells) {
+    w.begin_object();
+    w.key("p").value(cell.p);
+    w.key("sigma").value(cell.sigma);
+    w.key("h").value(cell.h);
+    w.key("predicted").value(cell.predicted);
+    w.key("lower_bound").value(cell.lower_bound);
+    w.key("ratio_predicted").value(cell.ratio_predicted);
+    w.key("ratio_lb").value(cell.ratio_lb);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("folds").begin_array();
+  for (const FoldResult& fold : run.folds) {
+    w.begin_object();
+    w.key("p").value(fold.p);
+    w.key("alpha").value(fold.alpha);
+    w.key("gamma").value(fold.gamma);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("certification").begin_object();
+  w.key("p").value(run.certification.p);
+  w.key("alpha").value(run.certification.alpha);
+  w.key("gamma").value(run.certification.gamma);
+  w.key("beta_min").value(run.certification.beta_min);
+  w.key("beta_at_p").value(run.certification.beta_at_p);
+  w.key("guarantee").value(run.certification.guarantee());
+  w.end_object();
+  w.end_object();
+}
+
+void write_campaign_spec(std::ostream& os, const CampaignSpec& spec) {
+  if (!spec.name.empty()) os << "name = " << spec.name << "\n";
+  os << "algorithms = ";
+  for (std::size_t i = 0; i < spec.sweeps.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << spec.sweeps[i].algorithm;
+    for (const std::uint64_t n : spec.sweeps[i].sizes) os << ":" << n;
+  }
+  os << "\n";
+  os << "engines = ";
+  for (std::size_t i = 0; i < spec.engines.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << to_string(spec.engines[i]);
+  }
+  os << "\n";
+  os << "backends = ";
+  for (std::size_t i = 0; i < spec.backends.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << to_string(spec.backends[i]);
+  }
+  os << "\n";
+  if (!spec.sigmas.empty()) {
+    os << "sigmas = ";
+    for (std::size_t i = 0; i < spec.sigmas.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << json_number(spec.sigmas[i]);
+    }
+    os << "\n";
+  }
+  if (spec.max_fold != 0) os << "max_fold = " << spec.max_fold << "\n";
 }
 
 void print_campaign_text(std::ostream& os, const CampaignResult& result) {

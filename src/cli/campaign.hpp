@@ -122,6 +122,28 @@ struct CampaignResult {
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
                                           std::ostream* progress = nullptr);
 
+/// Evaluate the full metric surface (cells, folds, certification) of one
+/// already-executed (algorithm, n, backend, engine) cell from its trace.
+/// This is the execution-free half of a campaign run: `nobl serve` calls it
+/// on cache-hit traces so a served cell is byte-identical to a fresh
+/// `run_campaign` cell by construction (same code path, same trace).
+[[nodiscard]] RunResult evaluate_run(const CampaignSpec& spec,
+                                     const AlgoEntry& entry, std::uint64_t n,
+                                     BackendKind backend,
+                                     const ExecutionPolicy& policy,
+                                     Trace trace);
+
+/// Serialize `spec` back to the line-oriented campaign grammar, such that
+/// parse_campaign_spec(rendered) reproduces the spec. Used by the serve
+/// client (builtin campaigns travel over the wire as text) and pinned by a
+/// round-trip test.
+void write_campaign_spec(std::ostream& os, const CampaignSpec& spec);
+
+/// Serialize one run as the result-document "runs" entry. write_campaign_json
+/// delegates here; `nobl serve` streams the identical object per completed
+/// cell, so served and batch-run documents agree field for field.
+void write_run_json(JsonWriter& w, const RunResult& run);
+
 /// Serialize as the schema-versioned result document (see kResultSchemaVersion
 /// and docs in bench/README.md).
 void write_campaign_json(std::ostream& os, const CampaignResult& result);

@@ -5,13 +5,16 @@
 //   nobl trace    export / inspect / replay recorded traces (csv or .nbt)
 //   nobl convert  translate a trace between the csv and binary formats
 //   nobl list     enumerate registered algorithms and builtin campaigns
-//   nobl check    validate a result JSON or replay golden traces,
-//                 optionally gate on thresholds
+//   nobl check    validate a result JSON, replay golden traces, or gate a
+//                 serve stats document, optionally against thresholds
+//   nobl serve    long-running campaign service over a local socket with a
+//                 persistent two-tier result cache (docs/SERVE.md)
 //
 // Every subcommand accepts --help. Exit codes: 0 success, 1 failed
 // check/threshold/conformance, 2 usage error.
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -24,6 +27,9 @@
 #include "cli/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/wiseness.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/bits.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +40,151 @@ int usage_error(const std::string& message, const std::string& help_hint) {
   std::cerr << "nobl: " << message << "\n(try `nobl " << help_hint
             << " --help`)\n";
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Flag registry: the single source of truth for what each subcommand
+// accepts. Every parse loop consults it through parse_flags, the hidden
+// `nobl __flags` command dumps it, and tests/cli/test_help_drift.cpp pins
+// each subcommand's --help text against it — adding a flag here without
+// documenting it (or vice versa) fails CI.
+// ---------------------------------------------------------------------------
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+struct CommandSpec {
+  const char* command;
+  std::vector<FlagSpec> flags;
+  /// convert takes INPUT/OUTPUT positionals; everything else is flags-only.
+  bool accepts_positionals;
+};
+
+const std::vector<CommandSpec>& command_registry() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"run",
+       {{"--campaign", true},
+        {"--spec", true},
+        {"--backend", true},
+        {"--json", true},
+        {"--thresholds", true},
+        {"--text", false},
+        {"--quiet", false},
+        {"--help", false}},
+       false},
+      {"certify",
+       {{"--campaign", true},
+        {"--spec", true},
+        {"--backend", true},
+        {"--json", true},
+        {"--quiet", false},
+        {"--help", false}},
+       false},
+      {"trace",
+       {{"--export", true},
+        {"--inspect", true},
+        {"--replay", true},
+        {"--campaign", true},
+        {"--spec", true},
+        {"--algorithm", true},
+        {"--n", true},
+        {"--format", true},
+        {"--quiet", false},
+        {"--help", false}},
+       false},
+      {"convert", {{"--to", true}, {"--help", false}}, true},
+      {"list", {{"--json", false}, {"--help", false}}, false},
+      {"check",
+       {{"--results", true},
+        {"--thresholds", true},
+        {"--golden", true},
+        {"--serve-stats", true},
+        {"--serve-thresholds", true},
+        {"--help", false}},
+       false},
+      {"serve",
+       {{"--socket", true},
+        {"--cache-dir", true},
+        {"--workers", true},
+        {"--queue", true},
+        {"--memory-entries", true},
+        {"--campaign", true},
+        {"--spec", true},
+        {"--backend", true},
+        {"--json", true},
+        {"--stats", false},
+        {"--ping", false},
+        {"--shutdown", false},
+        {"--help", false}},
+       false},
+  };
+  return kCommands;
+}
+
+const CommandSpec& command_spec(const std::string& command) {
+  for (const CommandSpec& spec : command_registry()) {
+    if (command == spec.command) return spec;
+  }
+  throw std::logic_error("no flag table registered for \"" + command + "\"");
+}
+
+/// Parse `args` against `command`'s registered flag table. Returns an exit
+/// code when the command already finished (--help, usage error); nullopt
+/// when the caller should proceed. Recognized flags land in
+/// on_flag(name, value) — value is empty for boolean flags; positionals go
+/// to on_positional (only for commands registered to accept them).
+std::optional<int> parse_flags(
+    const std::string& command, const std::vector<std::string>& args,
+    const std::function<void()>& help,
+    const std::function<void(const std::string&, const std::string&)>& on_flag,
+    const std::function<void(const std::string&)>& on_positional = {}) {
+  const CommandSpec& spec = command_spec(command);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help") {
+      help();
+      return 0;
+    }
+    const FlagSpec* flag = nullptr;
+    for (const FlagSpec& candidate : spec.flags) {
+      if (arg == candidate.name) {
+        flag = &candidate;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      const bool looks_like_flag = !arg.empty() && arg[0] == '-' && arg != "-";
+      if (!looks_like_flag && spec.accepts_positionals && on_positional) {
+        on_positional(arg);
+        continue;
+      }
+      return usage_error("unknown option \"" + arg + "\"", command);
+    }
+    if (flag->takes_value) {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      on_flag(arg, args[++i]);
+    } else {
+      on_flag(arg, "");
+    }
+  }
+  return std::nullopt;
+}
+
+/// Hidden `nobl __flags`: machine-readable dump of the flag registry, one
+/// `<command> <flag> value|switch` line each (consumed by the help-drift
+/// test; deliberately absent from `nobl --help`).
+int cmd_flags_dump() {
+  for (const CommandSpec& command : command_registry()) {
+    for (const FlagSpec& flag : command.flags) {
+      std::cout << command.command << " " << flag.name << " "
+                << (flag.takes_value ? "value" : "switch") << "\n";
+    }
+  }
+  return 0;
 }
 
 [[nodiscard]] std::string read_file(const std::string& path) {
@@ -151,35 +302,18 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string thresholds_path;
   bool text = false;
   bool quiet = false;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(arg + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg == "--help") {
-      print_run_help();
-      return 0;
-    } else if (arg == "--campaign") {
-      campaign_args.campaign = next();
-    } else if (arg == "--spec") {
-      campaign_args.spec = next();
-    } else if (arg == "--backend") {
-      campaign_args.backend = next();
-    } else if (arg == "--json") {
-      json_path = next();
-    } else if (arg == "--thresholds") {
-      thresholds_path = next();
-    } else if (arg == "--text") {
-      text = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      return usage_error("unknown option \"" + arg + "\"", "run");
-    }
-  }
+  const std::optional<int> early = parse_flags(
+      "run", args, print_run_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--campaign") campaign_args.campaign = value;
+        if (flag == "--spec") campaign_args.spec = value;
+        if (flag == "--backend") campaign_args.backend = value;
+        if (flag == "--json") json_path = value;
+        if (flag == "--thresholds") thresholds_path = value;
+        if (flag == "--text") text = true;
+        if (flag == "--quiet") quiet = true;
+      });
+  if (early.has_value()) return *early;
 
   const CampaignSpec spec = resolve_campaign(campaign_args);
   const CampaignResult result =
@@ -241,31 +375,16 @@ int cmd_certify(const std::vector<std::string>& args) {
   CampaignArgs campaign_args;
   std::string json_path;
   bool quiet = false;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(arg + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg == "--help") {
-      print_certify_help();
-      return 0;
-    } else if (arg == "--campaign") {
-      campaign_args.campaign = next();
-    } else if (arg == "--spec") {
-      campaign_args.spec = next();
-    } else if (arg == "--backend") {
-      campaign_args.backend = next();
-    } else if (arg == "--json") {
-      json_path = next();
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      return usage_error("unknown option \"" + arg + "\"", "certify");
-    }
-  }
+  const std::optional<int> early = parse_flags(
+      "certify", args, print_certify_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--campaign") campaign_args.campaign = value;
+        if (flag == "--spec") campaign_args.spec = value;
+        if (flag == "--backend") campaign_args.backend = value;
+        if (flag == "--json") json_path = value;
+        if (flag == "--quiet") quiet = true;
+      });
+  if (early.has_value()) return *early;
 
   const CampaignSpec spec = resolve_campaign(campaign_args);
   const CampaignResult result =
@@ -347,43 +466,23 @@ int cmd_trace(const std::vector<std::string>& args) {
   std::string format = "csv";
   std::uint64_t n = 0;
   bool quiet = false;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(arg + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg == "--help") {
-      print_trace_help();
-      return 0;
-    } else if (arg == "--export") {
-      export_dir = next();
-    } else if (arg == "--format") {
-      format = next();
-      if (format != "csv" && format != "bin") {
-        return usage_error("--format must be csv or bin, got \"" + format +
-                               "\"",
-                           "trace");
-      }
-    } else if (arg == "--inspect") {
-      inspect_path = next();
-    } else if (arg == "--replay") {
-      replay_path = next();
-    } else if (arg == "--campaign") {
-      campaign_args.campaign = next();
-    } else if (arg == "--spec") {
-      campaign_args.spec = next();
-    } else if (arg == "--algorithm") {
-      algorithm = next();
-    } else if (arg == "--n") {
-      n = std::stoull(next());
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      return usage_error("unknown option \"" + arg + "\"", "trace");
-    }
+  const std::optional<int> early = parse_flags(
+      "trace", args, print_trace_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--export") export_dir = value;
+        if (flag == "--format") format = value;
+        if (flag == "--inspect") inspect_path = value;
+        if (flag == "--replay") replay_path = value;
+        if (flag == "--campaign") campaign_args.campaign = value;
+        if (flag == "--spec") campaign_args.spec = value;
+        if (flag == "--algorithm") algorithm = value;
+        if (flag == "--n") n = std::stoull(value);
+        if (flag == "--quiet") quiet = true;
+      });
+  if (early.has_value()) return *early;
+  if (format != "csv" && format != "bin") {
+    return usage_error("--format must be csv or bin, got \"" + format + "\"",
+                       "trace");
   }
 
   if (!export_dir.empty()) {
@@ -484,28 +583,16 @@ Examples:
 int cmd_convert(const std::vector<std::string>& args) {
   std::vector<std::string> paths;
   std::string to;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(arg + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg == "--help") {
-      print_convert_help();
-      return 0;
-    } else if (arg == "--to") {
-      to = next();
-      if (to != "csv" && to != "bin") {
-        return usage_error("--to must be csv or bin, got \"" + to + "\"",
-                           "convert");
-      }
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      return usage_error("unknown option \"" + arg + "\"", "convert");
-    } else {
-      paths.push_back(arg);
-    }
+  const std::optional<int> early = parse_flags(
+      "convert", args, print_convert_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--to") to = value;
+      },
+      [&](const std::string& positional) { paths.push_back(positional); });
+  if (early.has_value()) return *early;
+  if (!to.empty() && to != "csv" && to != "bin") {
+    return usage_error("--to must be csv or bin, got \"" + to + "\"",
+                       "convert");
   }
   if (paths.size() != 2) {
     return usage_error("convert needs exactly INPUT and OUTPUT", "convert");
@@ -551,16 +638,12 @@ Options:
 
 int cmd_list(const std::vector<std::string>& args) {
   bool json = false;
-  for (const std::string& arg : args) {
-    if (arg == "--help") {
-      print_list_help();
-      return 0;
-    } else if (arg == "--json") {
-      json = true;
-    } else {
-      return usage_error("unknown option \"" + arg + "\"", "list");
-    }
-  }
+  const std::optional<int> early = parse_flags(
+      "list", args, print_list_help,
+      [&](const std::string& flag, const std::string&) {
+        if (flag == "--json") json = true;
+      });
+  if (early.has_value()) return *early;
 
   if (json) {
     write_registry_json(std::cout);
@@ -601,15 +684,29 @@ fixture and its binary .nbt twin must carry identical traces, and every
 backend the kernel supports (simulate / cost / record / analytic) must
 reproduce the golden H surface bit-for-bit at every fold and σ.
 
+With --serve-stats, `nobl check` instead validates a `nobl serve --stats`
+document (schema + every promised metrics field) and, with
+--serve-thresholds, gates it on hit-rate / latency / queue bounds — the CI
+serve job's acceptance gate (see bench/thresholds/serve-smoke.json).
+
 Usage:
   nobl check --results FILE [--thresholds FILE]
   nobl check --golden DIR
+  nobl check --serve-stats FILE [--serve-thresholds FILE]
 
 Options:
-  --results FILE      result JSON produced by `nobl run --json`
-  --thresholds FILE   thresholds document (see bench/thresholds/)
-  --golden DIR        replay csv + binary golden traces under all backends
-  --help              this text
+  --results FILE           result JSON produced by `nobl run --json` (also
+                           accepted: the aggregated document written by
+                           `nobl serve --campaign ... --json`)
+  --thresholds FILE        thresholds document (see bench/thresholds/)
+  --golden DIR             replay csv + binary golden traces, all backends
+  --serve-stats FILE       stats document from `nobl serve --stats`
+  --serve-thresholds FILE  bounds for the stats document: min_hit_rate,
+                           min_memory_hits, min_disk_hits, max_executed,
+                           min_cells_total, max_p50_ms, max_p99_ms,
+                           max_rejected, min_requests (unknown keys are
+                           violations)
+  --help                   this text
 
 Exit code 0 = valid (and within thresholds), 1 = violations (one per line
 on stderr).
@@ -682,33 +779,47 @@ int cmd_check(const std::vector<std::string>& args) {
   std::string results_path;
   std::string thresholds_path;
   std::string golden_dir;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(arg + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg == "--help") {
-      print_check_help();
-      return 0;
-    } else if (arg == "--results") {
-      results_path = next();
-    } else if (arg == "--thresholds") {
-      thresholds_path = next();
-    } else if (arg == "--golden") {
-      golden_dir = next();
-    } else {
-      return usage_error("unknown option \"" + arg + "\"", "check");
-    }
-  }
+  std::string serve_stats_path;
+  std::string serve_thresholds_path;
+  const std::optional<int> early = parse_flags(
+      "check", args, print_check_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--results") results_path = value;
+        if (flag == "--thresholds") thresholds_path = value;
+        if (flag == "--golden") golden_dir = value;
+        if (flag == "--serve-stats") serve_stats_path = value;
+        if (flag == "--serve-thresholds") serve_thresholds_path = value;
+      });
+  if (early.has_value()) return *early;
   if (!golden_dir.empty()) {
-    if (!results_path.empty() || !thresholds_path.empty()) {
-      return usage_error("--golden is exclusive with --results/--thresholds",
+    if (!results_path.empty() || !thresholds_path.empty() ||
+        !serve_stats_path.empty()) {
+      return usage_error("--golden is exclusive with the other check modes",
                          "check");
     }
     return check_golden(golden_dir);
+  }
+  if (!serve_stats_path.empty()) {
+    if (!results_path.empty() || !thresholds_path.empty()) {
+      return usage_error(
+          "--serve-stats is exclusive with --results/--thresholds", "check");
+    }
+    const JsonValue stats = JsonValue::parse(read_file(serve_stats_path));
+    const std::vector<std::string> violations =
+        serve_thresholds_path.empty()
+            ? serve::validate_serve_stats(stats)
+            : serve::check_serve_thresholds(
+                  stats, JsonValue::parse(read_file(serve_thresholds_path)));
+    for (const auto& v : violations) std::cerr << "CHECK: " << v << "\n";
+    if (!violations.empty()) return 1;
+    std::cout << "nobl check: OK (" << serve_stats_path
+              << (serve_thresholds_path.empty() ? ""
+                                                : ", serve thresholds applied")
+              << ")\n";
+    return 0;
+  }
+  if (!serve_thresholds_path.empty()) {
+    return usage_error("--serve-thresholds needs --serve-stats FILE", "check");
   }
   if (results_path.empty()) {
     return usage_error("--results FILE is required", "check");
@@ -729,6 +840,181 @@ int cmd_check(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_serve_help() {
+  std::cout <<
+      R"(nobl serve — long-running campaign service over a local socket.
+
+Server mode binds an AF_UNIX socket and answers campaign specs (the exact
+grammar of `nobl run --spec`, docs/SCHEMAS.md) with streamed NDJSON result
+documents. Identical (kernel, n, backend) cells are served from a two-tier
+content-addressed cache: an in-memory LRU in front of a persistent
+directory of .nbt traces, so a restarted server answers previously-computed
+cells by replaying from disk instead of re-executing any kernel. Admission
+control refuses oversized requests (bad_request) and requests that do not
+fit the bounded queue (overloaded, retryable) instead of hanging clients.
+Full operator guide: docs/SERVE.md.
+
+Usage:
+  nobl serve --socket PATH [server options]        run the server (blocks
+                                                   until a client sends the
+                                                   shutdown directive)
+  nobl serve --socket PATH --campaign NAME         submit a builtin campaign
+  nobl serve --socket PATH --spec FILE             submit a spec file
+  nobl serve --socket PATH --stats                 fetch the stats document
+  nobl serve --socket PATH --ping                  liveness probe
+  nobl serve --socket PATH --shutdown              stop the server
+
+Server options:
+  --cache-dir DIR      persistent .nbt cache directory (created if missing;
+                       omit for a memory-only cache)
+  --workers N          worker threads executing cells (default 4)
+  --queue N            bounded queue capacity in cells (default 256)
+  --memory-entries N   in-memory LRU capacity in traces (default 64)
+
+Client options:
+  --campaign NAME      builtin campaign to submit (see `nobl list`)
+  --spec FILE          campaign spec file to submit
+  --backend B          override the campaign's backend matrix (as `nobl run`)
+  --json FILE          write the aggregated result document (--campaign/
+                       --spec) or the raw stats document (--stats) to FILE
+                       ("-" = stdout); submissions default to stdout
+  --help               this text
+
+Client exit codes: 0 success, 1 retryable server error (overloaded /
+unavailable) or failed stats validation, 2 bad request.
+
+Example session:
+  nobl serve --socket /tmp/nobl.sock --cache-dir /tmp/nobl-cache &
+  nobl serve --socket /tmp/nobl.sock --campaign ci-smoke --json out.json
+  nobl serve --socket /tmp/nobl.sock --stats --json stats.json
+  nobl check --serve-stats stats.json
+  nobl serve --socket /tmp/nobl.sock --shutdown
+)";
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string socket_path;
+  std::string cache_dir;
+  std::string json_path;
+  CampaignArgs campaign_args;
+  unsigned workers = 4;
+  std::uint64_t queue = 256;
+  std::uint64_t memory_entries = 64;
+  bool stats = false;
+  bool ping = false;
+  bool shutdown = false;
+  const std::optional<int> early = parse_flags(
+      "serve", args, print_serve_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--socket") socket_path = value;
+        if (flag == "--cache-dir") cache_dir = value;
+        if (flag == "--workers") {
+          workers = static_cast<unsigned>(std::stoul(value));
+        }
+        if (flag == "--queue") queue = std::stoull(value);
+        if (flag == "--memory-entries") memory_entries = std::stoull(value);
+        if (flag == "--campaign") campaign_args.campaign = value;
+        if (flag == "--spec") campaign_args.spec = value;
+        if (flag == "--backend") campaign_args.backend = value;
+        if (flag == "--json") json_path = value;
+        if (flag == "--stats") stats = true;
+        if (flag == "--ping") ping = true;
+        if (flag == "--shutdown") shutdown = true;
+      });
+  if (early.has_value()) return *early;
+  if (socket_path.empty()) {
+    return usage_error("--socket PATH is required", "serve");
+  }
+  const bool submit =
+      !campaign_args.campaign.empty() || !campaign_args.spec.empty();
+  const int modes = static_cast<int>(stats) + static_cast<int>(ping) +
+                    static_cast<int>(shutdown) + static_cast<int>(submit);
+  if (modes > 1) {
+    return usage_error(
+        "pick one of --campaign/--spec, --stats, --ping, --shutdown",
+        "serve");
+  }
+
+  const auto write_doc = [&](const std::string& doc) {
+    if (json_path.empty() || json_path == "-") {
+      std::cout << doc;
+      return;
+    }
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      throw std::invalid_argument("cannot write \"" + json_path + "\"");
+    }
+    out << doc;
+  };
+
+  if (ping) {
+    serve::ServeClient client(socket_path);
+    client.send_line(serve::kDirectivePing);
+    const std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      std::cerr << "nobl serve: no response from " << socket_path << "\n";
+      return 1;
+    }
+    std::cout << *line << "\n";
+    return 0;
+  }
+  if (shutdown) {
+    serve::ServeClient client(socket_path);
+    client.send_line(serve::kDirectiveShutdown);
+    const std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      std::cerr << "nobl serve: no response from " << socket_path << "\n";
+      return 1;
+    }
+    std::cerr << "nobl serve: server on " << socket_path << " shutting down\n";
+    return 0;
+  }
+  if (stats) {
+    serve::ServeClient client(socket_path);
+    client.send_line(serve::kDirectiveStats);
+    const std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      std::cerr << "nobl serve: no response from " << socket_path << "\n";
+      return 1;
+    }
+    const std::vector<std::string> violations =
+        serve::validate_serve_stats(JsonValue::parse(*line));
+    for (const auto& v : violations) std::cerr << "CHECK: " << v << "\n";
+    if (!violations.empty()) return 1;
+    write_doc(*line + "\n");
+    return 0;
+  }
+  if (submit) {
+    const CampaignSpec spec = resolve_campaign(campaign_args);
+    serve::ServeClient client(socket_path);
+    const serve::ClientReport report = serve::submit_campaign(client, spec);
+    if (!report.ok) {
+      std::cerr << "nobl serve: " << report.error_code << ": "
+                << report.error_message
+                << (report.retryable ? " (retryable)" : "") << "\n";
+      return report.error_code == "bad_request" ? 2 : 1;
+    }
+    std::cerr << "nobl serve: " << report.runs << " cells in "
+              << report.elapsed_ms << " ms (memory " << report.tier_memory
+              << ", disk " << report.tier_disk << ", executed "
+              << report.tier_executed << ", coalesced "
+              << report.tier_coalesced << ")\n";
+    write_doc(report.results_json);
+    return 0;
+  }
+
+  // Server mode.
+  serve::SocketServerOptions options;
+  options.config.cache_dir = cache_dir;
+  options.config.workers = workers == 0 ? 1 : workers;
+  options.config.max_queue = queue;
+  options.config.memory_entries = memory_entries;
+  options.socket_path = socket_path;
+  options.log = &std::cerr;
+  serve::run_serve_socket(options);
+  return 0;
+}
+
 void print_main_help() {
   std::cout <<
       R"(nobl — campaign runner for the network-oblivious algorithm suite.
@@ -742,8 +1028,11 @@ Subcommands:
   trace    export / inspect / replay recorded traces (csv or binary .nbt)
   convert  translate a trace file between the csv and binary formats
   list     enumerate registered algorithms and builtin campaigns
-  check    validate result JSON or replay golden traces (--golden DIR),
-           optionally gate on a thresholds file
+  check    validate result JSON, replay golden traces (--golden DIR), or
+           gate a serve stats document (--serve-stats FILE), optionally
+           against a thresholds file
+  serve    long-running campaign service over a local socket, with a
+           persistent two-tier result cache (docs/SERVE.md)
 
 `nobl <subcommand> --help` documents each one.
 
@@ -769,6 +1058,8 @@ int dispatch(int argc, char** argv) {
   if (command == "convert") return cmd_convert(args);
   if (command == "list") return cmd_list(args);
   if (command == "check") return cmd_check(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "__flags") return cmd_flags_dump();
   return usage_error("unknown subcommand \"" + command + "\"", "--help");
 }
 

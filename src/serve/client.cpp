@@ -1,0 +1,221 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace nobl::serve {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("socket path \"" + socket_path +
+                                "\" must be 1.." +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::invalid_argument(std::string("socket(): ") +
+                                std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::invalid_argument("cannot connect to \"" + socket_path +
+                                "\": " + why +
+                                " (is `nobl serve` running?)");
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::send_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t wrote =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      throw std::invalid_argument("server connection closed while sending");
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+}
+
+void ServeClient::send_spec(const std::string& spec_text) {
+  std::string request = spec_text;
+  if (request.empty() || request.back() != '\n') request += '\n';
+  request += kRequestSentinel;
+  send_line(request);
+}
+
+std::optional<std::string> ServeClient::read_line() {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) return std::nullopt;
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::string raw_member(std::string_view compact_json, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle.append(key);
+  needle += "\":";
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < compact_json.size(); ++i) {
+    const char c = compact_json[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      // A top-level key? Match the needle (including its closing quote and
+      // colon) only at depth 1, then capture the balanced value after it.
+      if (depth == 1 && compact_json.substr(i, needle.size()) == needle) {
+        const std::size_t start = i + needle.size();
+        std::size_t end = start;
+        int value_depth = 0;
+        bool value_string = false;
+        bool value_escaped = false;
+        for (; end < compact_json.size(); ++end) {
+          const char v = compact_json[end];
+          if (value_string) {
+            if (value_escaped) {
+              value_escaped = false;
+            } else if (v == '\\') {
+              value_escaped = true;
+            } else if (v == '"') {
+              value_string = false;
+            }
+            continue;
+          }
+          if (v == '"') {
+            value_string = true;
+          } else if (v == '{' || v == '[') {
+            ++value_depth;
+          } else if (v == '}' || v == ']') {
+            if (value_depth == 0) break;  // enclosing object closes the value
+            --value_depth;
+          } else if ((v == ',') && value_depth == 0) {
+            break;
+          }
+          if (value_depth == 0 && (v == '}' || v == ']')) {
+            ++end;  // include the closing bracket of a {}/[] value
+            break;
+          }
+        }
+        return std::string(compact_json.substr(start, end - start));
+      }
+      in_string = true;
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+  }
+  return {};
+}
+
+ClientReport submit_campaign(ServeClient& client, const CampaignSpec& spec) {
+  std::ostringstream spec_text;
+  write_campaign_spec(spec_text, spec);
+  client.send_spec(spec_text.str());
+
+  ClientReport report;
+  std::map<std::uint64_t, std::string> runs;  // seq -> raw run object
+  while (true) {
+    const std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      report.error_code = "connection_closed";
+      report.error_message = "server closed the connection mid-request";
+      return report;
+    }
+    const JsonValue doc = JsonValue::parse(*line);
+    const std::string& type = doc.at("type").as_string();
+    if (type == "run") {
+      const auto seq = static_cast<std::uint64_t>(doc.at("seq").as_number());
+      runs[seq] = raw_member(*line, "run");
+    } else if (type == "done") {
+      report.ok = true;
+      report.runs = static_cast<std::uint64_t>(doc.at("runs").as_number());
+      report.elapsed_ms = doc.at("elapsed_ms").as_number();
+      const JsonValue& tiers = doc.at("cache");
+      report.tier_memory =
+          static_cast<std::uint64_t>(tiers.at("memory").as_number());
+      report.tier_disk =
+          static_cast<std::uint64_t>(tiers.at("disk").as_number());
+      report.tier_executed =
+          static_cast<std::uint64_t>(tiers.at("executed").as_number());
+      report.tier_coalesced =
+          static_cast<std::uint64_t>(tiers.at("coalesced").as_number());
+      break;
+    } else if (type == "error") {
+      report.error_code = doc.at("code").as_string();
+      report.error_message = doc.at("message").as_string();
+      report.retryable = doc.at("retryable").as_bool();
+      return report;
+    }
+    // pong/stats/bye for other requests on a shared connection: skip.
+  }
+
+  // Re-assemble the campaign result document (the write_campaign_json
+  // layout, compact) around the server's raw run objects.
+  std::ostringstream out;
+  out << "{\"schema_version\":" << kResultSchemaVersion
+      << ",\"tool\":\"nobl\",\"campaign\":\"" << json_escape(spec.name)
+      << "\",\"engines\":[";
+  for (std::size_t i = 0; i < spec.engines.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(to_string(spec.engines[i])) << "\"";
+  }
+  out << "],\"backends\":[";
+  for (std::size_t i = 0; i < spec.backends.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(to_string(spec.backends[i])) << "\"";
+  }
+  out << "],\"runs\":[";
+  bool first = true;
+  for (const auto& [seq, raw] : runs) {
+    if (!first) out << ",";
+    first = false;
+    out << raw;
+  }
+  out << "]}\n";
+  report.results_json = out.str();
+  return report;
+}
+
+}  // namespace nobl::serve

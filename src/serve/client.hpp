@@ -1,0 +1,77 @@
+// Client side of the `nobl serve` wire protocol: a blocking AF_UNIX
+// line-oriented connection plus the aggregation logic that folds a served
+// request's streamed run documents back into one schema-v1 campaign result
+// document (`nobl check --results` accepts it unchanged).
+//
+// Aggregation preserves the server's bytes: each streamed `run` object is
+// spliced into the "runs" array as the raw substring the server emitted,
+// never re-parsed and re-serialized (a DOM round-trip through std::map
+// would reorder keys). Two served documents for the same spec are therefore
+// byte-identical whether the cells came from the memory tier, the disk
+// tier, or fresh execution — the property the CI serve job enforces with
+// `cmp`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cli/campaign.hpp"
+
+namespace nobl::serve {
+
+/// Blocking AF_UNIX stream client. Constructor connects; throws
+/// std::invalid_argument when the socket is absent or refuses.
+class ServeClient {
+ public:
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one protocol line (newline appended).
+  void send_line(const std::string& line);
+  /// Send a campaign spec request: the spec text followed by the "."
+  /// sentinel line.
+  void send_spec(const std::string& spec_text);
+  /// Next response line (newline stripped); nullopt on EOF.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Extract the raw text of top-level member `key` from one compact JSON
+/// object (string- and nesting-aware scan; no DOM). Empty when absent.
+/// Exposed for the protocol tests.
+[[nodiscard]] std::string raw_member(std::string_view compact_json,
+                                     std::string_view key);
+
+/// Everything a served campaign request produced.
+struct ClientReport {
+  /// True when a done doc arrived (no error doc, no EOF mid-request).
+  bool ok = false;
+  /// From the error doc when !ok.
+  std::string error_code;
+  std::string error_message;
+  bool retryable = false;
+  /// Compact campaign result document (schema v1), runs in seq order.
+  std::string results_json;
+  std::uint64_t runs = 0;
+  /// Per-tier cell counts from the done doc: memory/disk/executed/coalesced.
+  std::uint64_t tier_memory = 0;
+  std::uint64_t tier_disk = 0;
+  std::uint64_t tier_executed = 0;
+  std::uint64_t tier_coalesced = 0;
+  /// Server-side elapsed time from the done doc.
+  double elapsed_ms = 0.0;
+};
+
+/// Submit `spec` over `client` and collect the streamed response into a
+/// ClientReport. Blocks until the request's done or error doc (or EOF).
+[[nodiscard]] ClientReport submit_campaign(ServeClient& client,
+                                           const CampaignSpec& spec);
+
+}  // namespace nobl::serve

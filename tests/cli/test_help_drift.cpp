@@ -1,0 +1,104 @@
+// Pins `--help` text to the flag registry: every flag a subcommand
+// actually parses (per the hidden `nobl __flags` dump) must appear in that
+// subcommand's --help output, the main help must name every subcommand,
+// and unknown flags must exit 2. Runs the real installed binary — the path
+// is injected by CMake as NOBL_CLI_PATH — so what is pinned is the shipped
+// CLI, not a reimplementation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "cli/campaign.hpp"
+
+namespace {
+
+struct CommandOutput {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+CommandOutput run_cli(const std::string& args) {
+  const std::string command =
+      std::string(NOBL_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  CommandOutput out;
+  if (pipe == nullptr) return out;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    out.stdout_text.append(buffer, got);
+  }
+  const int status = ::pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+/// command -> registered flag names, from `nobl __flags`.
+std::map<std::string, std::vector<std::string>> registered_flags() {
+  const CommandOutput dump = run_cli("__flags");
+  EXPECT_EQ(dump.exit_code, 0);
+  std::map<std::string, std::vector<std::string>> out;
+  std::istringstream lines(dump.stdout_text);
+  std::string command;
+  std::string flag;
+  std::string kind;
+  while (lines >> command >> flag >> kind) {
+    EXPECT_TRUE(kind == "value" || kind == "switch") << kind;
+    out[command].push_back(flag);
+  }
+  return out;
+}
+
+TEST(HelpDrift, EveryRegisteredFlagIsDocumentedInHelp) {
+  const auto registry = registered_flags();
+  ASSERT_FALSE(registry.empty());
+  for (const char* expected :
+       {"run", "certify", "trace", "convert", "list", "check", "serve"}) {
+    EXPECT_TRUE(registry.count(expected))
+        << "subcommand \"" << expected << "\" missing from the flag registry";
+  }
+  for (const auto& [command, flags] : registry) {
+    const CommandOutput help = run_cli(command + " --help");
+    EXPECT_EQ(help.exit_code, 0) << command << " --help";
+    for (const std::string& flag : flags) {
+      EXPECT_NE(help.stdout_text.find(flag), std::string::npos)
+          << "`nobl " << command << " --help` does not document " << flag;
+    }
+  }
+}
+
+TEST(HelpDrift, MainHelpNamesEverySubcommand) {
+  const CommandOutput help = run_cli("--help");
+  EXPECT_EQ(help.exit_code, 0);
+  for (const auto& [command, flags] : registered_flags()) {
+    (void)flags;
+    EXPECT_NE(help.stdout_text.find(command), std::string::npos)
+        << "`nobl --help` does not mention " << command;
+  }
+}
+
+TEST(HelpDrift, RunHelpNamesEveryBuiltinCampaign) {
+  const CommandOutput help = run_cli("run --help");
+  EXPECT_EQ(help.exit_code, 0);
+  for (const std::string& name : nobl::builtin_campaign_names()) {
+    EXPECT_NE(help.stdout_text.find(name), std::string::npos)
+        << "`nobl run --help` does not mention builtin campaign " << name;
+  }
+}
+
+TEST(HelpDrift, UnknownFlagsExitWithUsageError) {
+  for (const char* command :
+       {"run", "certify", "trace", "convert", "list", "check", "serve"}) {
+    const CommandOutput out =
+        run_cli(std::string(command) + " --definitely-not-a-flag");
+    EXPECT_EQ(out.exit_code, 2) << command;
+  }
+}
+
+}  // namespace

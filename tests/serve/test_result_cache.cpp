@@ -1,0 +1,189 @@
+// The two-tier result cache: memory hits, LRU eviction, disk-tier
+// persistence across instances (the cold-restart path), corrupt-entry
+// recovery, and single-flight coalescing of concurrent identical cells.
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "bsp/backend.hpp"
+#include "bsp/execution.hpp"
+#include "core/registry.hpp"
+
+namespace nobl::serve {
+namespace {
+
+Trace run_kernel(const std::string& name, std::uint64_t n) {
+  return AlgoRegistry::instance().at(name).runner(
+      n, RunOptions{ExecutionPolicy::sequential(), BackendKind::kSimulate});
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("nobl_cache_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ResultCache, MemoryHitAfterFirstCompute) {
+  ResultCache cache({"", 8});
+  const CacheKey key{"fft", 64, BackendKind::kSimulate};
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return run_kernel("fft", 64);
+  };
+  CacheTier tier = CacheTier::kMemory;
+  const auto first = cache.get_or_compute(key, compute, &tier);
+  EXPECT_EQ(tier, CacheTier::kExecuted);
+  const auto second = cache.get_or_compute(key, compute, &tier);
+  EXPECT_EQ(tier, CacheTier::kMemory);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());  // shared, not copied
+  EXPECT_EQ(cache.counters().memory_hits, 1u);
+  EXPECT_EQ(cache.counters().executed, 1u);
+}
+
+TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache({"", 2});
+  const CacheKey a{"fft", 64, BackendKind::kSimulate};
+  const CacheKey b{"sort", 64, BackendKind::kSimulate};
+  const CacheKey c{"scan", 64, BackendKind::kSimulate};
+  (void)cache.get_or_compute(a, [] { return run_kernel("fft", 64); });
+  (void)cache.get_or_compute(b, [] { return run_kernel("sort", 64); });
+  // Touch a so b is the LRU tail, then insert c: b must be evicted.
+  (void)cache.get_or_compute(a, [] { return run_kernel("fft", 64); });
+  (void)cache.get_or_compute(c, [] { return run_kernel("scan", 64); });
+  EXPECT_EQ(cache.memory_entries(), 2u);
+  CacheTier tier = CacheTier::kMemory;
+  (void)cache.get_or_compute(a, [] { return run_kernel("fft", 64); }, &tier);
+  EXPECT_EQ(tier, CacheTier::kMemory);
+  (void)cache.get_or_compute(b, [] { return run_kernel("sort", 64); }, &tier);
+  EXPECT_EQ(tier, CacheTier::kExecuted) << "evicted entry must recompute";
+}
+
+TEST(ResultCache, DiskTierSurvivesRestart) {
+  const std::string dir = fresh_dir("restart");
+  const CacheKey key{"matmul", 64, BackendKind::kSimulate};
+  {
+    ResultCache cache({dir, 4});
+    CacheTier tier = CacheTier::kMemory;
+    (void)cache.get_or_compute(
+        key, [] { return run_kernel("matmul", 64); }, &tier);
+    EXPECT_EQ(tier, CacheTier::kExecuted);
+    EXPECT_EQ(cache.disk_entries(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / key.file_name()));
+  }
+  // A fresh instance (cold memory tier, warm disk) must replay, not run.
+  ResultCache restarted({dir, 4});
+  EXPECT_EQ(restarted.disk_entries(), 1u);
+  CacheTier tier = CacheTier::kMemory;
+  const auto trace = restarted.get_or_compute(
+      key,
+      []() -> Trace {
+        ADD_FAILURE() << "disk hit must not re-execute the kernel";
+        return run_kernel("matmul", 64);
+      },
+      &tier);
+  EXPECT_EQ(tier, CacheTier::kDisk);
+  EXPECT_EQ(restarted.counters().disk_hits, 1u);
+  // The replayed trace carries the same surface as a fresh run.
+  const Trace fresh = run_kernel("matmul", 64);
+  EXPECT_EQ(trace->supersteps(), fresh.supersteps());
+  EXPECT_EQ(trace->total_messages(), fresh.total_messages());
+}
+
+TEST(ResultCache, CorruptDiskEntryIsRecomputedAndRewritten) {
+  const std::string dir = fresh_dir("corrupt");
+  const CacheKey key{"scan", 64, BackendKind::kSimulate};
+  {
+    ResultCache cache({dir, 4});
+    (void)cache.get_or_compute(key, [] { return run_kernel("scan", 64); });
+  }
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / key.file_name();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a trace";
+  }
+  ResultCache cache({dir, 4});
+  CacheTier tier = CacheTier::kMemory;
+  int computes = 0;
+  (void)cache.get_or_compute(
+      key,
+      [&] {
+        ++computes;
+        return run_kernel("scan", 64);
+      },
+      &tier);
+  EXPECT_EQ(tier, CacheTier::kExecuted);
+  EXPECT_EQ(computes, 1);
+  // The rewritten entry must serve the next cold instance from disk.
+  ResultCache again({dir, 4});
+  (void)again.get_or_compute(
+      key, [] { return run_kernel("scan", 64); }, &tier);
+  EXPECT_EQ(tier, CacheTier::kDisk);
+}
+
+TEST(ResultCache, ConcurrentIdenticalCellsComputeOnce) {
+  ResultCache cache({"", 8});
+  const CacheKey key{"fft", 64, BackendKind::kSimulate};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  int computes = 0;
+  const auto slow_compute = [&] {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      ++computes;
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return run_kernel("fft", 64);
+  };
+  std::thread first([&] { (void)cache.get_or_compute(key, slow_compute); });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+  // The flight is registered before compute runs, so this caller either
+  // coalesces onto it or (if it somehow arrives after completion) takes a
+  // memory hit — never a second execution.
+  std::thread second([&] { (void)cache.get_or_compute(key, slow_compute); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+    cv.notify_all();
+  }
+  first.join();
+  second.join();
+  EXPECT_EQ(computes, 1);
+  const ResultCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.executed, 1u);
+  EXPECT_EQ(counters.coalesced + counters.memory_hits, 1u);
+}
+
+TEST(ResultCache, ComputeFailurePropagatesAndDoesNotPoison) {
+  ResultCache cache({"", 4});
+  const CacheKey key{"fft", 64, BackendKind::kSimulate};
+  EXPECT_THROW((void)cache.get_or_compute(
+                   key, []() -> Trace { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The failed flight must not wedge the key: the next caller computes.
+  CacheTier tier = CacheTier::kMemory;
+  (void)cache.get_or_compute(
+      key, [] { return run_kernel("fft", 64); }, &tier);
+  EXPECT_EQ(tier, CacheTier::kExecuted);
+}
+
+}  // namespace
+}  // namespace nobl::serve
