@@ -34,6 +34,8 @@ std::string to_string(BackendKind kind) {
       return "record";
     case BackendKind::kAnalytic:
       return "analytic";
+    case BackendKind::kDistributed:
+      return "distributed";
   }
   return "unknown";
 }
@@ -43,15 +45,16 @@ BackendKind backend_from_string(const std::string& name) {
   if (name == "cost") return BackendKind::kCost;
   if (name == "record") return BackendKind::kRecord;
   if (name == "analytic") return BackendKind::kAnalytic;
+  if (name == "distributed" || name == "dist") return BackendKind::kDistributed;
   throw std::invalid_argument(
       "unknown backend \"" + name +
-      "\" (expected simulate | cost | record | analytic)");
+      "\" (expected simulate | cost | record | analytic | distributed)");
 }
 
 const std::vector<BackendKind>& all_backend_kinds() {
   static const std::vector<BackendKind> kinds{
       BackendKind::kSimulate, BackendKind::kCost, BackendKind::kRecord,
-      BackendKind::kAnalytic};
+      BackendKind::kAnalytic, BackendKind::kDistributed};
   return kinds;
 }
 

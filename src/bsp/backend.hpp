@@ -59,6 +59,7 @@
 #include "bsp/execution.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
+#include "dist/backend.hpp"
 #include "util/bits.hpp"
 
 namespace nobl {
@@ -72,9 +73,20 @@ namespace nobl {
 /// by falling back to kCost for data-dependent kernels (samplesort). It is
 /// dispatched in the registry layer; run_for_trace itself rejects it
 /// because a bare program carries no closed form.
-enum class BackendKind : std::uint8_t { kSimulate, kCost, kRecord, kAnalytic };
+///
+/// kDistributed executes the program on real forked worker processes (one
+/// per VP cluster; dist/backend.hpp), merging per-superstep event blocks
+/// over a fork or loopback-TCP channel into a trace bit-identical to the
+/// in-process backends, with measured wall-clock per superstep on the side.
+enum class BackendKind : std::uint8_t {
+  kSimulate,
+  kCost,
+  kRecord,
+  kAnalytic,
+  kDistributed
+};
 
-/// "simulate" | "cost" | "record" | "analytic".
+/// "simulate" | "cost" | "record" | "analytic" | "distributed".
 [[nodiscard]] std::string to_string(BackendKind kind);
 
 /// Inverse of to_string; throws std::invalid_argument listing the valid
@@ -94,10 +106,17 @@ class TraceWriter;
 struct RunOptions {
   ExecutionPolicy policy{};
   BackendKind backend = BackendKind::kSimulate;
-  /// When non-null and backend == kRecord, run_for_trace copies the
-  /// captured Schedule here — the seam the analytic memo cache uses to
-  /// lift a kernel's communication pattern out of one recorded run.
+  /// When non-null and backend == kRecord or kDistributed, run_for_trace
+  /// copies the captured Schedule here — the seam the analytic memo cache
+  /// uses to lift a kernel's communication pattern out of one recorded run,
+  /// and the seam the distributed conformance tests use to compare merged
+  /// event streams against RecordBackend.
   Schedule* capture = nullptr;
+  /// kDistributed only: worker count and transport.
+  dist::DistConfig dist{};
+  /// kDistributed only: when non-null, receives the measured wall-clock
+  /// column (per superstep + total) of the distributed run.
+  dist::Measurement* measure = nullptr;
 
   RunOptions() = default;
   // NOLINTNEXTLINE(runtime/explicit): deliberate converting constructor
@@ -491,6 +510,29 @@ template <typename Payload, typename ProgramFn>
       throw std::invalid_argument(
           "run_for_trace: the analytic backend is dispatched by the "
           "algorithm registry (core/analytic.hpp), not by run_for_trace");
+    case BackendKind::kDistributed: {
+      // Type-erase the program: the shard backend is one concrete class,
+      // so the fork/merge machinery lives out of line in dist/backend.cpp.
+      std::vector<dist::MergedStep> merged;
+      Trace trace = dist::run_distributed(
+          v, options.dist, options.measure,
+          options.capture != nullptr ? &merged : nullptr,
+          [&program](dist::DistributedBackend& backend) { program(backend); });
+      if (options.capture != nullptr) {
+        Schedule schedule;
+        schedule.log_v = log2_exact(v);
+        for (const dist::MergedStep& step : merged) {
+          ScheduleStep block(step.label);
+          for (std::size_t i = 0; i < step.src.size(); ++i) {
+            block.push(step.src[i], step.dst[i], step.count[i],
+                       ((step.dummy_words[i >> 6] >> (i & 63)) & 1) != 0);
+          }
+          schedule.steps.push_back(std::move(block));
+        }
+        *options.capture = std::move(schedule);
+      }
+      return trace;
+    }
     case BackendKind::kSimulate:
     default: {
       SimulateBackend<Payload> backend(v, options.policy);

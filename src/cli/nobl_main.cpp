@@ -12,6 +12,8 @@
 //
 // Every subcommand accepts --help. Exit codes: 0 success, 1 failed
 // check/threshold/conformance, 2 usage error.
+#include <charconv>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -42,6 +44,23 @@ int usage_error(const std::string& message, const std::string& help_hint) {
   return 2;
 }
 
+/// Parse a numeric flag value as u64. Unlike bare std::stoull, this names
+/// the flag and rejects the whole value — negatives, trailing junk ("64x"),
+/// overflow — with an actionable message (exit 2 via std::invalid_argument)
+/// instead of silently truncating or dying on an unhandled out_of_range.
+std::uint64_t parse_u64_flag(const std::string& flag,
+                             const std::string& value) {
+  std::uint64_t out = 0;
+  const char* const begin = value.data();
+  const char* const end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (value.empty() || ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument(
+        flag + ": expected an unsigned integer, got \"" + value + "\"");
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Flag registry: the single source of truth for what each subcommand
 // accepts. Every parse loop consults it through parse_flags, the hidden
@@ -68,6 +87,8 @@ const std::vector<CommandSpec>& command_registry() {
        {{"--campaign", true},
         {"--spec", true},
         {"--backend", true},
+        {"--transport", true},
+        {"--dist-workers", true},
         {"--json", true},
         {"--thresholds", true},
         {"--text", false},
@@ -78,6 +99,8 @@ const std::vector<CommandSpec>& command_registry() {
        {{"--campaign", true},
         {"--spec", true},
         {"--backend", true},
+        {"--transport", true},
+        {"--dist-workers", true},
         {"--json", true},
         {"--quiet", false},
         {"--help", false}},
@@ -100,6 +123,7 @@ const std::vector<CommandSpec>& command_registry() {
        {{"--results", true},
         {"--thresholds", true},
         {"--golden", true},
+        {"--transport", true},
         {"--serve-stats", true},
         {"--serve-thresholds", true},
         {"--help", false}},
@@ -222,8 +246,10 @@ void save_trace(const std::string& path, const Trace& trace, bool binary) {
 struct CampaignArgs {
   std::string campaign;  ///< builtin name
   std::string spec;      ///< path to a spec file
-  /// --backend override (simulate | cost | record | analytic)
+  /// --backend override (simulate | cost | record | analytic | distributed)
   std::string backend;
+  std::string transport;     ///< --transport override (fork | tcp)
+  std::string dist_workers;  ///< --dist-workers override (raw flag value)
 };
 
 [[nodiscard]] CampaignSpec resolve_campaign(const CampaignArgs& args) {
@@ -235,6 +261,18 @@ struct CampaignArgs {
   } else {
     throw std::invalid_argument("no campaign selected: pass --campaign NAME "
                                 "or --spec FILE");
+  }
+  if (!args.transport.empty()) {
+    spec.dist.transport = dist::transport_from_string(args.transport);
+  }
+  if (!args.dist_workers.empty()) {
+    const std::uint64_t workers =
+        parse_u64_flag("--dist-workers", args.dist_workers);
+    if (workers > 1024) {
+      throw std::invalid_argument(
+          "--dist-workers: out of range [0, 1024] (0 = auto)");
+    }
+    spec.dist.workers = static_cast<unsigned>(workers);
   }
   if (!args.backend.empty()) {
     // Comma-separated override, e.g. --backend simulate,cost — running
@@ -277,16 +315,25 @@ Options:
                   schedule), analytic (closed-form trace synthesis for
                   kernels with exact formulas, a memoized fused replay for
                   the other input-independent kernels, cost fallback
-                  otherwise). Traces are backend-invariant — running e.g.
+                  otherwise), distributed (real forked worker processes,
+                  one per VP cluster, merged over a fork or loopback-TCP
+                  channel — attaches a measured wall-clock column per
+                  superstep, docs/DISTRIBUTED.md). Traces are
+                  backend-invariant — running e.g.
                   --backend simulate,cost,analytic makes `nobl check`
                   enforce that bit-identity inside the one result document
+  --transport T   distributed backend only: the worker channel, fork
+                  (socketpairs opened before fork, default) | tcp
+                  (loopback TCP)
+  --dist-workers N  distributed backend only: worker processes (0 = auto,
+                  default; rounded down to a power of two <= v)
   --thresholds F  after the run, gate the results on the thresholds file F
                   (exit 1 on any violation) — the one-shot form of the CI
                   `nobl run` + `nobl check` pair
   --quiet         suppress per-run progress lines on stderr
   --help          this text
 
-Builtin campaigns: ci-smoke, golden, bench (see `nobl list`).
+Builtin campaigns: ci-smoke, golden, bench, conformance (see `nobl list`).
 
 Examples:
   nobl run --campaign ci-smoke --json out.json
@@ -308,6 +355,8 @@ int cmd_run(const std::vector<std::string>& args) {
         if (flag == "--campaign") campaign_args.campaign = value;
         if (flag == "--spec") campaign_args.spec = value;
         if (flag == "--backend") campaign_args.backend = value;
+        if (flag == "--transport") campaign_args.transport = value;
+        if (flag == "--dist-workers") campaign_args.dist_workers = value;
         if (flag == "--json") json_path = value;
         if (flag == "--thresholds") thresholds_path = value;
         if (flag == "--text") text = true;
@@ -362,10 +411,14 @@ Usage:
 Options:
   --json FILE   also write the full result document ("-" = stdout)
   --backend B   certify under one backend: simulate | cost | record |
-                analytic. Analytic is the natural choice for sweeps —
-                verdicts are pure trace queries, and the analytic backend
-                answers them from closed forms or one memoized schedule
-                instead of re-running the kernel per point
+                analytic | distributed. Analytic is the natural choice for
+                sweeps — verdicts are pure trace queries, and the analytic
+                backend answers them from closed forms or one memoized
+                schedule instead of re-running the kernel per point;
+                distributed certifies the merged trace of real worker
+                processes (and attaches measured wall clock to --json)
+  --transport T    distributed backend only: fork (default) | tcp
+  --dist-workers N distributed backend only: worker processes (0 = auto)
   --quiet       suppress progress lines on stderr
   --help        this text
 )";
@@ -381,6 +434,8 @@ int cmd_certify(const std::vector<std::string>& args) {
         if (flag == "--campaign") campaign_args.campaign = value;
         if (flag == "--spec") campaign_args.spec = value;
         if (flag == "--backend") campaign_args.backend = value;
+        if (flag == "--transport") campaign_args.transport = value;
+        if (flag == "--dist-workers") campaign_args.dist_workers = value;
         if (flag == "--json") json_path = value;
         if (flag == "--quiet") quiet = true;
       });
@@ -476,7 +531,7 @@ int cmd_trace(const std::vector<std::string>& args) {
         if (flag == "--campaign") campaign_args.campaign = value;
         if (flag == "--spec") campaign_args.spec = value;
         if (flag == "--algorithm") algorithm = value;
-        if (flag == "--n") n = std::stoull(value);
+        if (flag == "--n") n = parse_u64_flag("--n", value);
         if (flag == "--quiet") quiet = true;
       });
   if (early.has_value()) return *early;
@@ -681,8 +736,10 @@ must report identical H cells under every engine and every backend. With
 With --golden DIR, `nobl check` instead replays the golden campaign against
 the archived trace fixtures in DIR: for every (algorithm, n) sweep the CSV
 fixture and its binary .nbt twin must carry identical traces, and every
-backend the kernel supports (simulate / cost / record / analytic) must
-reproduce the golden H surface bit-for-bit at every fold and σ.
+backend the kernel supports (simulate / cost / record / analytic /
+distributed) must reproduce the golden H surface bit-for-bit at every fold
+and σ. --transport selects the distributed backend's worker channel for
+those replays.
 
 With --serve-stats, `nobl check` instead validates a `nobl serve --stats`
 document (schema + every promised metrics field) and, with
@@ -700,6 +757,8 @@ Options:
                            `nobl serve --campaign ... --json`)
   --thresholds FILE        thresholds document (see bench/thresholds/)
   --golden DIR             replay csv + binary golden traces, all backends
+  --transport T            with --golden: run the distributed-backend
+                           replays over T, fork (default) | tcp
   --serve-stats FILE       stats document from `nobl serve --stats`
   --serve-thresholds FILE  bounds for the stats document: min_hit_rate,
                            min_memory_hits, min_disk_hits, max_executed,
@@ -717,9 +776,13 @@ on stderr).
 /// twins must agree, and each supported backend's live run must reproduce
 /// the golden H cells bit-identically (the acceptance gate CI runs against
 /// tests/golden/).
-int check_golden(const std::string& dir) {
+int check_golden(const std::string& dir, const std::string& transport) {
   std::vector<std::string> violations;
   const CampaignSpec spec = builtin_campaign("golden");
+  dist::DistConfig dist;
+  if (!transport.empty()) {
+    dist.transport = dist::transport_from_string(transport);
+  }
   for (const AlgoSweep& sweep : spec.sweeps) {
     const AlgoEntry& entry = AlgoRegistry::instance().at(sweep.algorithm);
     for (const std::uint64_t n : sweep.sizes) {
@@ -748,8 +811,9 @@ int check_golden(const std::string& dir) {
       }
       for (const BackendKind backend : all_backend_kinds()) {
         if (!entry.supports(backend)) continue;
-        const Trace live = entry.runner(
-            n, RunOptions{ExecutionPolicy::sequential(), backend});
+        RunOptions options{ExecutionPolicy::sequential(), backend};
+        options.dist = dist;
+        const Trace live = entry.runner(n, options);
         for (const std::uint64_t p : pow2_range(golden.v())) {
           const unsigned log_p = log2_exact(p);
           for (const double sigma : sigma_grid(n, p)) {
@@ -779,6 +843,7 @@ int cmd_check(const std::vector<std::string>& args) {
   std::string results_path;
   std::string thresholds_path;
   std::string golden_dir;
+  std::string transport;
   std::string serve_stats_path;
   std::string serve_thresholds_path;
   const std::optional<int> early = parse_flags(
@@ -787,6 +852,7 @@ int cmd_check(const std::vector<std::string>& args) {
         if (flag == "--results") results_path = value;
         if (flag == "--thresholds") thresholds_path = value;
         if (flag == "--golden") golden_dir = value;
+        if (flag == "--transport") transport = value;
         if (flag == "--serve-stats") serve_stats_path = value;
         if (flag == "--serve-thresholds") serve_thresholds_path = value;
       });
@@ -797,7 +863,10 @@ int cmd_check(const std::vector<std::string>& args) {
       return usage_error("--golden is exclusive with the other check modes",
                          "check");
     }
-    return check_golden(golden_dir);
+    return check_golden(golden_dir, transport);
+  }
+  if (!transport.empty()) {
+    return usage_error("--transport needs --golden DIR", "check");
   }
   if (!serve_stats_path.empty()) {
     if (!results_path.empty() || !thresholds_path.empty()) {
@@ -909,10 +978,16 @@ int cmd_serve(const std::vector<std::string>& args) {
         if (flag == "--socket") socket_path = value;
         if (flag == "--cache-dir") cache_dir = value;
         if (flag == "--workers") {
-          workers = static_cast<unsigned>(std::stoul(value));
+          const std::uint64_t parsed = parse_u64_flag("--workers", value);
+          if (parsed > 1024) {
+            throw std::invalid_argument("--workers: out of range [0, 1024]");
+          }
+          workers = static_cast<unsigned>(parsed);
         }
-        if (flag == "--queue") queue = std::stoull(value);
-        if (flag == "--memory-entries") memory_entries = std::stoull(value);
+        if (flag == "--queue") queue = parse_u64_flag("--queue", value);
+        if (flag == "--memory-entries") {
+          memory_entries = parse_u64_flag("--memory-entries", value);
+        }
         if (flag == "--campaign") campaign_args.campaign = value;
         if (flag == "--spec") campaign_args.spec = value;
         if (flag == "--backend") campaign_args.backend = value;

@@ -10,8 +10,9 @@
 //   * its closed-form predicted cost (Section 4 upper bounds) and the
 //     matching lower bound, both as CostFormula (n, p, σ) -> value,
 //   * the size sweeps its bench and the CI smoke campaign use,
-//   * the backends it supports (every kernel is a Program, so all four:
-//     simulate / cost / record, plus the analytic cost-optimizer path —
+//   * the backends it supports (every kernel is a Program, so all five:
+//     simulate / cost / record / distributed, plus the analytic
+//     cost-optimizer path —
 //     exact kernels answer symbolically, input-independent ones through
 //     the schedule memo cache, data-dependent ones by cost fallback; see
 //     core/analytic.hpp),

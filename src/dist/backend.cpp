@@ -1,0 +1,320 @@
+#include "dist/backend.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include "bsp/trace_store.hpp"
+
+namespace nobl::dist {
+namespace {
+
+// Wire frames (host byte order — coordinator and workers share a machine;
+// a cross-host deployment would pin endianness at the device layer):
+//   'B' block:  u8 'B', u32 label, u64 nevents, then the src / dst / count
+//               u64 columns and ceil(nevents/64) dummy-bitmap words
+//   'D' done:   u8 'D' — the program returned normally on this worker
+//   'E' error:  u8 'E', u8 exception code, u64 length, message bytes
+//   'A' ack:    u8 'A' — the coordinator's end-of-superstep barrier
+constexpr char kFrameBlock = 'B';
+constexpr char kFrameDone = 'D';
+constexpr char kFrameError = 'E';
+constexpr char kFrameAck = 'A';
+
+// Exception codes for 'E' frames; the coordinator rethrows the matching
+// type so error behavior is backend-conformant with CostBackend.
+constexpr std::uint8_t kErrInvalidArgument = 1;
+constexpr std::uint8_t kErrOutOfRange = 2;
+constexpr std::uint8_t kErrClusterViolation = 3;
+constexpr std::uint8_t kErrLogicError = 4;
+constexpr std::uint8_t kErrRuntime = 5;
+
+[[noreturn]] void worker_gone(unsigned index) {
+  throw std::runtime_error("dist: worker " + std::to_string(index) +
+                           " died mid-protocol (no frame)");
+}
+
+bool send_u64s(Channel& channel, const std::vector<std::uint64_t>& words) {
+  return words.empty() ||
+         channel.send(words.data(), words.size() * sizeof(std::uint64_t));
+}
+
+bool recv_u64s(Channel& channel, std::vector<std::uint64_t>& words,
+               std::size_t count) {
+  words.resize(count);
+  return count == 0 ||
+         channel.recv(words.data(), count * sizeof(std::uint64_t));
+}
+
+/// Run the program under a shard backend and report the outcome; never
+/// throws out (the child has nowhere to unwind to).
+void worker_main(std::uint64_t v, std::uint64_t first, std::uint64_t last,
+                 const std::function<void(DistributedBackend&)>& program,
+                 Channel& channel) {
+  std::uint8_t code = 0;
+  std::string what;
+  try {
+    DistributedBackend backend(v, first, last, &channel);
+    program(backend);
+    backend.finish();
+    return;
+  } catch (const ClusterViolation& e) {
+    code = kErrClusterViolation;
+    what = e.what();
+  } catch (const std::out_of_range& e) {
+    code = kErrOutOfRange;
+    what = e.what();
+  } catch (const std::invalid_argument& e) {
+    code = kErrInvalidArgument;
+    what = e.what();
+  } catch (const std::logic_error& e) {
+    code = kErrLogicError;
+    what = e.what();
+  } catch (const std::exception& e) {
+    code = kErrRuntime;
+    what = e.what();
+  }
+  const char frame = kFrameError;
+  const std::uint64_t len = what.size();
+  if (channel.send(&frame, 1) && channel.send(&code, 1) &&
+      channel.send(&len, sizeof(len))) {
+    (void)channel.send(what.data(), what.size());
+  }
+}
+
+[[noreturn]] void rethrow_worker_error(unsigned index, std::uint8_t code,
+                                       const std::string& what) {
+  const std::string message =
+      what.empty()
+          ? "dist: worker " + std::to_string(index) + " failed"
+          : what;
+  switch (code) {
+    case kErrInvalidArgument:
+      throw std::invalid_argument(message);
+    case kErrOutOfRange:
+      throw std::out_of_range(message);
+    case kErrClusterViolation:
+      throw ClusterViolation(message);
+    case kErrLogicError:
+      throw std::logic_error(message);
+    default:
+      throw std::runtime_error(message);
+  }
+}
+
+/// Kills and reaps every tracked worker on scope exit unless disarmed —
+/// the coordinator's error paths must never leak children.
+class Reaper {
+ public:
+  explicit Reaper(const std::vector<WorkerLink>& links) {
+    for (const WorkerLink& link : links) pids_.push_back(link.pid);
+  }
+  ~Reaper() {
+    if (disarmed_) return;
+    for (const ::pid_t pid : pids_) ::kill(pid, SIGKILL);
+    reap();
+  }
+  /// Success path: children already sent 'D'; wait for clean exits.
+  void reap() {
+    for (const ::pid_t pid : pids_) {
+      int status = 0;
+      ::pid_t got;
+      do {
+        got = ::waitpid(pid, &status, 0);
+      } while (got < 0 && errno == EINTR);
+    }
+    disarmed_ = true;
+  }
+  void disarm() { disarmed_ = true; }
+
+ private:
+  std::vector<::pid_t> pids_;
+  bool disarmed_ = false;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void DistributedBackend::begin_superstep(unsigned label) {
+  const unsigned label_bound = log_v_ < 1 ? 1 : log_v_;
+  if (label >= label_bound) {
+    throw std::invalid_argument(
+        "DistributedBackend: superstep label out of range");
+  }
+  if (in_superstep_) {
+    throw std::logic_error("DistributedBackend: nested superstep");
+  }
+  in_superstep_ = true;
+  label_ = label;
+  breach_shift_ = log_v_ - label;
+  block_ = MergedStep{};
+  block_.label = label;
+}
+
+void DistributedBackend::end_superstep() {
+  const char frame = kFrameBlock;
+  const std::uint32_t label = label_;
+  const std::uint64_t nevents = block_.src.size();
+  const bool sent = channel_->send(&frame, 1) &&
+                    channel_->send(&label, sizeof(label)) &&
+                    channel_->send(&nevents, sizeof(nevents)) &&
+                    send_u64s(*channel_, block_.src) &&
+                    send_u64s(*channel_, block_.dst) &&
+                    send_u64s(*channel_, block_.count) &&
+                    send_u64s(*channel_, block_.dummy_words);
+  char ack = 0;
+  if (!sent || !channel_->recv(&ack, 1) || ack != kFrameAck) {
+    throw std::runtime_error(
+        "DistributedBackend: coordinator went away mid-superstep");
+  }
+  in_superstep_ = false;
+}
+
+void DistributedBackend::finish() {
+  const char frame = kFrameDone;
+  if (!channel_->send(&frame, 1)) {
+    throw std::runtime_error(
+        "DistributedBackend: coordinator went away at end of program");
+  }
+}
+
+Trace run_distributed(std::uint64_t v, const DistConfig& config,
+                      Measurement* measure, std::vector<MergedStep>* capture,
+                      const std::function<void(DistributedBackend&)>& program) {
+  const unsigned log_v = log2_exact(v);
+  std::uint64_t workers = config.workers == 0 ? 4 : config.workers;
+  if (workers > v) workers = v;
+  workers = std::bit_floor(workers);  // power of two => equal contiguous
+  if (workers == 0) workers = 1;      // clusters that divide v exactly
+  const std::uint64_t span = v / workers;
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<WorkerLink> links = spawn_workers(
+      config.transport, static_cast<unsigned>(workers),
+      [&](unsigned index, Channel& channel) {
+        worker_main(v, index * span, (index + 1) * span, program, channel);
+      });
+  Reaper reaper(links);
+
+  // The merged trace streams through the binary columnar writer into an
+  // in-memory .nbt image and is materialized back through TraceReader: the
+  // trace store is the measured-trace wire format by construction.
+  std::ostringstream wire;
+  TraceWriter writer(wire, log_v);
+  DegreeAccumulator acc(log_v);
+  std::vector<double> superstep_ms;
+  MergedStep merged;
+
+  bool done = false;
+  while (!done) {
+    const auto step_start = std::chrono::steady_clock::now();
+    merged = MergedStep{};
+    std::uint32_t step_label = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+      Channel& channel = *links[w].channel;
+      char kind = 0;
+      if (!channel.recv(&kind, 1)) worker_gone(w);
+      if (kind == kFrameError) {
+        std::uint8_t code = 0;
+        std::uint64_t len = 0;
+        std::string what;
+        if (channel.recv(&code, 1) && channel.recv(&len, sizeof(len)) &&
+            len <= (std::uint64_t{1} << 20)) {
+          what.resize(len);
+          if (len != 0 && !channel.recv(what.data(), len)) what.clear();
+        }
+        rethrow_worker_error(w, code, what);
+      }
+      if (kind == kFrameDone) {
+        if (w != 0) {
+          throw std::runtime_error(
+              "dist: workers disagree on the superstep count");
+        }
+        done = true;
+        // The remaining workers must agree the program is over.
+        for (unsigned other = 1; other < workers; ++other) {
+          char other_kind = 0;
+          if (!links[other].channel->recv(&other_kind, 1)) worker_gone(other);
+          if (other_kind != kFrameDone) {
+            throw std::runtime_error(
+                "dist: workers disagree on the superstep count");
+          }
+        }
+        break;
+      }
+      if (kind != kFrameBlock) worker_gone(w);
+      std::uint32_t label = 0;
+      std::uint64_t nevents = 0;
+      if (!channel.recv(&label, sizeof(label)) ||
+          !channel.recv(&nevents, sizeof(nevents)) ||
+          nevents > (std::uint64_t{1} << 40)) {
+        worker_gone(w);
+      }
+      if (w == 0) {
+        step_label = label;
+        merged.label = label;
+      } else if (label != step_label) {
+        throw std::runtime_error("dist: workers disagree on superstep labels");
+      }
+      std::vector<std::uint64_t> src;
+      std::vector<std::uint64_t> dst;
+      std::vector<std::uint64_t> count;
+      std::vector<std::uint64_t> dummy_words;
+      if (!recv_u64s(channel, src, nevents) ||
+          !recv_u64s(channel, dst, nevents) ||
+          !recv_u64s(channel, count, nevents) ||
+          !recv_u64s(channel, dummy_words, (nevents + 63) / 64)) {
+        worker_gone(w);
+      }
+      // Contiguous clusters + worker-index order = global ascending-sender
+      // order, i.e. exactly the event order RecordBackend captures.
+      for (std::uint64_t i = 0; i < nevents; ++i) {
+        merged.push(src[i], dst[i], count[i],
+                    ((dummy_words[i >> 6] >> (i & 63)) & 1) != 0);
+      }
+    }
+    if (done) break;
+
+    // Merge exactly like Schedule::replay_trace: one accumulator for the
+    // whole run, a fresh record per superstep, count() per event.
+    SuperstepRecord record;
+    record.label = merged.label;
+    record.degree.assign(log_v + 1u, 0);
+    for (std::size_t i = 0; i < merged.src.size(); ++i) {
+      acc.count(merged.src[i], merged.dst[i], merged.count[i]);
+    }
+    acc.finalize_into(record);
+    writer.append(record);
+    superstep_ms.push_back(ms_since(step_start));
+    if (capture != nullptr) capture->push_back(std::move(merged));
+
+    // Barrier: release every worker into the next superstep.
+    for (unsigned w = 0; w < workers; ++w) {
+      const char ack = kFrameAck;
+      if (!links[w].channel->send(&ack, 1)) worker_gone(w);
+    }
+  }
+
+  reaper.reap();
+  writer.finish();
+  if (measure != nullptr) {
+    measure->superstep_ms = std::move(superstep_ms);
+    measure->total_ms = ms_since(run_start);
+    measure->workers = static_cast<unsigned>(workers);
+    measure->transport = config.transport;
+  }
+  return TraceReader::from_bytes(std::move(wire).str()).materialize();
+}
+
+}  // namespace nobl::dist

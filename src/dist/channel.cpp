@@ -1,0 +1,175 @@
+#include "dist/channel.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fd_io.hpp"
+
+namespace nobl::dist {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_all(const std::vector<int>& fds) {
+  for (const int fd : fds) ::close(fd);
+}
+
+std::vector<WorkerLink> spawn_fork(
+    unsigned workers,
+    const std::function<void(unsigned, Channel&)>& child_main) {
+  std::vector<WorkerLink> links;
+  std::vector<int> parent_fds;  // mirrored for the children to close
+  links.reserve(workers);
+  for (unsigned index = 0; index < workers; ++index) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw_errno("dist: socketpair()");
+    }
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw_errno("dist: fork()");
+    }
+    if (pid == 0) {
+      // Child: drop every parent-side endpoint inherited from earlier
+      // iterations, keep only this worker's end.
+      ::close(sv[0]);
+      close_all(parent_fds);
+      FdChannel channel(sv[1]);
+      child_main(index, channel);
+      ::_exit(0);
+    }
+    ::close(sv[1]);
+    parent_fds.push_back(sv[0]);
+    links.push_back(WorkerLink{pid, std::make_unique<FdChannel>(sv[0])});
+  }
+  return links;
+}
+
+std::vector<WorkerLink> spawn_tcp(
+    unsigned workers,
+    const std::function<void(unsigned, Channel&)>& child_main) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw_errno("dist: socket()");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the kernel picks a free loopback port
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, static_cast<int>(workers)) != 0) {
+    ::close(listen_fd);
+    throw_errno("dist: bind/listen(127.0.0.1)");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    ::close(listen_fd);
+    throw_errno("dist: getsockname()");
+  }
+
+  // Fork every worker first; the kernel completes their connect() against
+  // the listen backlog, so the accept loop below cannot deadlock.
+  std::vector<::pid_t> pids;
+  pids.reserve(workers);
+  for (unsigned index = 0; index < workers; ++index) {
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(listen_fd);
+      for (const ::pid_t p : pids) ::kill(p, SIGKILL);
+      throw_errno("dist: fork()");
+    }
+    if (pid == 0) {
+      ::close(listen_fd);
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) ::_exit(3);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&bound),
+                    sizeof(bound)) != 0) {
+        ::_exit(3);
+      }
+      // Hello frame: the worker index, so the coordinator can map the
+      // accepted connection back to a VP cluster regardless of accept order.
+      const std::uint32_t hello = index;
+      if (!io::send_all(fd, &hello, sizeof(hello))) ::_exit(3);
+      FdChannel channel(fd);
+      child_main(index, channel);
+      ::_exit(0);
+    }
+    pids.push_back(pid);
+  }
+
+  std::vector<WorkerLink> links(workers);
+  for (unsigned accepted = 0; accepted < workers; ++accepted) {
+    int fd;
+    do {
+      fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      ::close(listen_fd);
+      for (const ::pid_t p : pids) ::kill(p, SIGKILL);
+      throw_errno("dist: accept()");
+    }
+    std::uint32_t hello = 0;
+    if (!io::recv_exact(fd, &hello, sizeof(hello)) || hello >= workers ||
+        links[hello].channel != nullptr) {
+      ::close(fd);
+      ::close(listen_fd);
+      for (const ::pid_t p : pids) ::kill(p, SIGKILL);
+      throw std::runtime_error("dist: bad worker hello on tcp transport");
+    }
+    links[hello] = WorkerLink{pids[hello], std::make_unique<FdChannel>(fd)};
+  }
+  ::close(listen_fd);
+  return links;
+}
+
+}  // namespace
+
+std::string to_string(Transport transport) {
+  switch (transport) {
+    case Transport::kFork:
+      return "fork";
+    case Transport::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+Transport transport_from_string(const std::string& name) {
+  if (name == "fork") return Transport::kFork;
+  if (name == "tcp") return Transport::kTcp;
+  throw std::invalid_argument("unknown transport \"" + name +
+                              "\" (expected fork | tcp)");
+}
+
+FdChannel::~FdChannel() { ::close(fd_); }
+
+bool FdChannel::send(const void* data, std::size_t len) {
+  return io::send_all(fd_, data, len);
+}
+
+bool FdChannel::recv(void* data, std::size_t len) {
+  return io::recv_exact(fd_, data, len);
+}
+
+std::vector<WorkerLink> spawn_workers(
+    Transport transport, unsigned workers,
+    const std::function<void(unsigned, Channel&)>& child_main) {
+  if (workers == 0) throw std::runtime_error("dist: zero workers");
+  return transport == Transport::kFork ? spawn_fork(workers, child_main)
+                                       : spawn_tcp(workers, child_main);
+}
+
+}  // namespace nobl::dist

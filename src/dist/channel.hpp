@@ -1,0 +1,82 @@
+// Transport abstraction for the distributed D-BSP backend.
+//
+// The coordinator/worker protocol (dist/backend.cpp) is written against one
+// device description: a set of worker processes, each reachable through a
+// reliable bidirectional byte stream. Transports are interchangeable behind
+// that description —
+//
+//   kFork — socketpairs opened before fork(): the zero-configuration
+//     shared-memory-machine transport, no addressing, no handshake.
+//   kTcp  — loopback TCP: the coordinator listens on 127.0.0.1:0, each
+//     forked worker connects and identifies itself with a one-word hello.
+//     The same frames flow over a real network stack, so this is the
+//     stepping stone to genuinely remote workers.
+//
+// Both reduce to FdChannel over util/fd_io, so EINTR and partial reads /
+// writes are absorbed below the protocol layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace nobl::dist {
+
+/// Which wire carries superstep blocks between coordinator and workers.
+enum class Transport : std::uint8_t { kFork, kTcp };
+
+/// "fork" | "tcp".
+[[nodiscard]] std::string to_string(Transport transport);
+
+/// Inverse of to_string; throws std::invalid_argument listing the valid
+/// names on a miss.
+[[nodiscard]] Transport transport_from_string(const std::string& name);
+
+/// A reliable bidirectional byte stream to one peer. The coordinator and
+/// worker protocols are written against this interface only.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Send exactly `len` bytes; false = peer gone or real error.
+  [[nodiscard]] virtual bool send(const void* data, std::size_t len) = 0;
+  /// Receive exactly `len` bytes; false = EOF or real error.
+  [[nodiscard]] virtual bool recv(void* data, std::size_t len) = 0;
+};
+
+/// Channel over one connected stream socket (owns and closes the fd).
+class FdChannel final : public Channel {
+ public:
+  explicit FdChannel(int fd) : fd_(fd) {}
+  ~FdChannel() override;
+
+  FdChannel(const FdChannel&) = delete;
+  FdChannel& operator=(const FdChannel&) = delete;
+
+  [[nodiscard]] bool send(const void* data, std::size_t len) override;
+  [[nodiscard]] bool recv(void* data, std::size_t len) override;
+
+ private:
+  int fd_;
+};
+
+/// One worker process as the coordinator sees it.
+struct WorkerLink {
+  ::pid_t pid = -1;
+  std::unique_ptr<Channel> channel;
+};
+
+/// Fork `workers` child processes connected to the caller over `transport`
+/// and run `child_main(index, channel)` in each; children _exit(0) when it
+/// returns and never unwind into the caller's stack. The returned links are
+/// in worker-index order. Throws std::runtime_error when the device cannot
+/// be brought up (socketpair/bind/fork failure).
+[[nodiscard]] std::vector<WorkerLink> spawn_workers(
+    Transport transport, unsigned workers,
+    const std::function<void(unsigned, Channel&)>& child_main);
+
+}  // namespace nobl::dist

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "serve/protocol.hpp"
+#include "util/fd_io.hpp"
 #include "util/json.hpp"
 
 namespace nobl::serve {
@@ -47,14 +48,10 @@ ServeClient::~ServeClient() {
 void ServeClient::send_line(const std::string& line) {
   std::string framed = line;
   framed += '\n';
-  std::size_t off = 0;
-  while (off < framed.size()) {
-    const ssize_t wrote =
-        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
-    if (wrote <= 0) {
-      throw std::invalid_argument("server connection closed while sending");
-    }
-    off += static_cast<std::size_t>(wrote);
+  // io::send_all retries EINTR and short writes; only a real error or a
+  // closed peer surfaces here.
+  if (!io::send_all(fd_, framed.data(), framed.size())) {
+    throw std::invalid_argument("server connection closed while sending");
   }
 }
 
@@ -75,7 +72,7 @@ std::optional<std::string> ServeClient::read_line() {
       return line;
     }
     char chunk[4096];
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t got = io::recv_some(fd_, chunk, sizeof(chunk));
     if (got <= 0) return std::nullopt;
     buffer_.append(chunk, static_cast<std::size_t>(got));
   }

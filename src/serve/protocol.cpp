@@ -136,6 +136,7 @@ std::string render_stats_doc(const ServeStats& stats) {
   w.key("cost").value(stats.backend_cells[1]);
   w.key("record").value(stats.backend_cells[2]);
   w.key("analytic").value(stats.backend_cells[3]);
+  w.key("distributed").value(stats.backend_cells[4]);
   w.end_object();
   w.key("latency_ms").begin_object();
   w.key("window").value(stats.latency_count);

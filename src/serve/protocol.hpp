@@ -136,8 +136,8 @@ struct ServeStats {
   std::uint64_t inflight = 0;        ///< cells executing right now
 
   /// Completed cells per backend, indexed like all_backend_kinds():
-  /// simulate, cost, record, analytic.
-  std::uint64_t backend_cells[4] = {0, 0, 0, 0};
+  /// simulate, cost, record, analytic, distributed.
+  std::uint64_t backend_cells[5] = {0, 0, 0, 0, 0};
 
   // Cell latency (enqueue -> response written), over a sliding window of
   // the most recent kLatencyWindow cells.

@@ -1,8 +1,12 @@
 #include "serve/result_cache.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "bsp/trace_io.hpp"
 #include "bsp/trace_store.hpp"
@@ -87,19 +91,49 @@ void ResultCache::store_to_disk(const CacheKey& key, const Trace& trace) {
   if (disk_dir_.empty()) return;
   const std::filesystem::path path =
       std::filesystem::path(disk_dir_) / key.file_name();
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // The temp name carries the pid and a process-wide counter: two caches
+  // pointed at the same directory (or two threads racing the same key after
+  // an eviction) each publish through their own temp file instead of
+  // truncating each other's half-written bytes.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  std::error_code ec;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;  // disk tier is best-effort; memory tier still serves
     write_trace_bin(out, trace);
-    if (!out) return;
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
   }
-  std::error_code ec;
+  // fsync before rename: the rename must never publish the final path ahead
+  // of the data reaching disk, or a crash leaves a torn .nbt where readers
+  // expect a checksummed trace.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   const bool existed = std::filesystem::exists(path, ec);
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return;
+  }
+  // Best-effort directory fsync so the rename itself is durable.
+  const int dir_fd = ::open(disk_dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   if (!existed) {
     const std::lock_guard<std::mutex> lock(mutex_);

@@ -20,8 +20,10 @@
 //   A hit on a cold restart replays the file through TraceReader (every
 //   block CRC re-verified) instead of re-executing the kernel; a corrupt
 //   or truncated file is treated as a miss and transparently re-written.
-//   Stores are atomic (`.tmp` + rename), so a crashed server never leaves
-//   a half-written cache entry behind.
+//   Stores are atomic and durable (unique pid+sequence temp name, fsync,
+//   then rename), so a crashed server never leaves a half-written cache
+//   entry behind and concurrent writers never clobber each other's temp
+//   files.
 //
 // Concurrent identical cells are single-flighted: the first caller
 // computes, every other caller blocks on the in-flight entry and is

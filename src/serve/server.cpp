@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "util/fd_io.hpp"
 
 namespace nobl::serve {
 namespace {
@@ -185,8 +186,12 @@ void ServeCore::process(const Cell& cell) {
     const std::shared_ptr<const Trace> trace = cache_.get_or_compute(
         key,
         [&cell] {
-          return cell.entry->runner(cell.n,
-                                    RunOptions{cell.policy, cell.backend});
+          // No Measurement sink here: served cells never carry wall-clock
+          // timing, so a cache-hit response stays byte-identical to a
+          // freshly-executed one (the cold/hot cmp gate in CI).
+          RunOptions options{cell.policy, cell.backend};
+          options.dist = cell.request->spec->dist;
+          return cell.entry->runner(cell.n, options);
         },
         &tier);
     // The exact metric/JSON path of `nobl run`: a cache-hit cell and a
@@ -284,7 +289,7 @@ ServeStats ServeCore::stats() const {
     s.requests = requests_;
     s.rejected = rejected_;
     s.cells_total = cells_total_;
-    for (std::size_t i = 0; i < 4; ++i) s.backend_cells[i] = backend_cells_[i];
+    for (std::size_t i = 0; i < 5; ++i) s.backend_cells[i] = backend_cells_[i];
     const std::size_t count =
         std::min<std::uint64_t>(latency_seen_, latency_ring_.size());
     window.assign(latency_ring_.begin(),
@@ -370,13 +375,9 @@ class LineWriter {
     const std::lock_guard<std::mutex> lock(mutex_);
     std::string framed = line;
     framed += '\n';
-    std::size_t off = 0;
-    while (off < framed.size()) {
-      const ssize_t wrote = ::send(fd_, framed.data() + off,
-                                   framed.size() - off, MSG_NOSIGNAL);
-      if (wrote <= 0) return;  // peer gone: drop the rest of this response
-      off += static_cast<std::size_t>(wrote);
-    }
+    // io::send_all retries EINTR and short writes; a false return means the
+    // peer is really gone, so the rest of this response is dropped.
+    (void)io::send_all(fd_, framed.data(), framed.size());
   }
 
  private:
@@ -456,7 +457,10 @@ void handle_connection(int fd, ServeCore* core,
     const int ready = ::poll(&p, 1, 200);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
-    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    // io::recv_some retries EINTR internally: only real EOF (0) or a real
+    // error (-1, errno != EINTR) tears the connection down. A transient
+    // signal mid-recv must not be mistaken for the peer hanging up.
+    const ssize_t got = io::recv_some(fd, buffer, sizeof(buffer));
     if (got <= 0) {
       framer.finish();
       open = false;
@@ -632,7 +636,8 @@ std::vector<std::string> validate_serve_stats(const JsonValue& doc) {
   if (backends == nullptr || !backends->is_object()) {
     out.push_back("stats: missing object \"backends\"");
   } else {
-    for (const char* key : {"simulate", "cost", "record", "analytic"}) {
+    for (const char* key :
+         {"simulate", "cost", "record", "analytic", "distributed"}) {
       require_number_at(*backends, key, "stats.backends", &out);
     }
   }

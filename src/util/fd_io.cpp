@@ -1,0 +1,50 @@
+#include "util/fd_io.hpp"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nobl::io {
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t wrote = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    cursor += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+ssize_t recv_some(int fd, void* data, std::size_t len) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, data, len, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+bool recv_exact(int fd, void* data, std::size_t len) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t got = recv_some(fd, cursor, remaining);
+    if (got < 0) return false;
+    if (got == 0) {
+      errno = 0;  // clean EOF, distinguishable from a real error
+      return false;
+    }
+    cursor += got;
+    remaining -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace nobl::io

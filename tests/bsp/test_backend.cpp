@@ -189,7 +189,7 @@ TEST(Backend, KindNamesRoundTrip) {
   }
   EXPECT_EQ(backend_from_string("sim"), BackendKind::kSimulate);
   EXPECT_THROW((void)backend_from_string("gpu"), std::invalid_argument);
-  EXPECT_EQ(all_backend_kinds().size(), 4u);
+  EXPECT_EQ(all_backend_kinds().size(), 5u);
 }
 
 TEST(Backend, RunOptionsConvertImplicitly) {

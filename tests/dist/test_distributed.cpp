@@ -1,0 +1,201 @@
+// The distributed backend (dist/backend.hpp): merged worker traces must be
+// bit-identical to every in-process backend for every registry kernel over
+// BOTH transports, the captured global event stream must equal
+// RecordBackend's schedule event for event, worker-side validation failures
+// must surface in the coordinator with their original exception type, and
+// the measured wall-clock column must line up with the trace's supersteps.
+#include "dist/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bsp/backend.hpp"
+#include "core/registry.hpp"
+
+namespace nobl {
+namespace {
+
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.log_v(), b.log_v());
+  ASSERT_EQ(a.supersteps(), b.supersteps());
+  for (std::size_t s = 0; s < a.supersteps(); ++s) {
+    EXPECT_EQ(a.steps()[s].label, b.steps()[s].label) << "superstep " << s;
+    EXPECT_EQ(a.steps()[s].degree, b.steps()[s].degree) << "superstep " << s;
+    EXPECT_EQ(a.steps()[s].messages, b.steps()[s].messages)
+        << "superstep " << s;
+  }
+}
+
+void expect_schedules_identical(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.log_v, b.log_v);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t s = 0; s < a.steps.size(); ++s) {
+    EXPECT_EQ(a.steps[s], b.steps[s]) << "superstep " << s;
+  }
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+/// Run one registry kernel at its smallest smoke size under kDistributed
+/// over `transport` and pin trace AND captured schedule against kRecord.
+void check_kernel_conformance(const AlgoEntry& entry,
+                              dist::Transport transport) {
+  const std::uint64_t n = entry.smoke_sizes.front();
+  SCOPED_TRACE(entry.name + " n=" + std::to_string(n) + " over " +
+               dist::to_string(transport));
+
+  Schedule recorded;
+  RunOptions record_options;
+  record_options.backend = BackendKind::kRecord;
+  record_options.capture = &recorded;
+  const Trace reference = entry.runner(n, record_options);
+
+  Schedule merged;
+  dist::Measurement measurement;
+  RunOptions dist_options;
+  dist_options.backend = BackendKind::kDistributed;
+  dist_options.capture = &merged;
+  dist_options.measure = &measurement;
+  dist_options.dist.transport = transport;
+  const Trace distributed = entry.runner(n, dist_options);
+
+  expect_traces_identical(distributed, reference);
+  expect_schedules_identical(merged, recorded);
+  EXPECT_EQ(measurement.superstep_ms.size(), distributed.supersteps());
+  EXPECT_EQ(measurement.transport, transport);
+}
+
+TEST(Distributed, AllKernelsBitIdenticalOverFork) {
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    ASSERT_TRUE(entry.supports(BackendKind::kDistributed)) << entry.name;
+    check_kernel_conformance(entry, dist::Transport::kFork);
+  }
+}
+
+TEST(Distributed, AllKernelsBitIdenticalOverTcp) {
+  for (const AlgoEntry& entry : AlgoRegistry::instance().entries()) {
+    check_kernel_conformance(entry, dist::Transport::kTcp);
+  }
+}
+
+TEST(Distributed, WorkerCountClampsToAPowerOfTwoDividingV) {
+  // 8 VPs, worker requests {1, 2, 3, 5, 64}: every clamp must still merge
+  // the identical trace, and the measurement must report the actual count.
+  auto program = [](auto& bk) {
+    bk.superstep(0, [](auto& vp) {
+      vp.send_dummy(vp.id() ^ (vp.v() - 1), vp.id() + 1);
+    });
+    bk.superstep(1, [](auto& vp) { vp.send_dummy(vp.id() ^ 1, 2); });
+  };
+  const Trace reference =
+      run_for_trace<std::uint64_t>(8, RunOptions{BackendKind::kCost}, program);
+  for (const unsigned workers : {1u, 2u, 3u, 5u, 64u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    RunOptions options;
+    options.backend = BackendKind::kDistributed;
+    options.dist.workers = workers;
+    dist::Measurement measurement;
+    options.measure = &measurement;
+    const Trace distributed =
+        run_for_trace<std::uint64_t>(8, options, program);
+    expect_traces_identical(distributed, reference);
+    EXPECT_GE(measurement.workers, 1u);
+    EXPECT_LE(measurement.workers, 8u);
+    EXPECT_EQ(measurement.workers & (measurement.workers - 1), 0u);
+    EXPECT_EQ(measurement.superstep_ms.size(), 2u);
+    EXPECT_GE(measurement.total_ms, 0.0);
+  }
+}
+
+template <typename Program>
+Trace run_distributed_program(Program&& program) {
+  RunOptions options;
+  options.backend = BackendKind::kDistributed;
+  return run_for_trace<std::uint64_t>(4, options,
+                                      std::forward<Program>(program));
+}
+
+TEST(Distributed, WorkerValidationFailuresKeepTheirTypes) {
+  // CostBackend parity: each rule's exception type must survive the trip
+  // through the worker's error frame and the coordinator's rethrow.
+  EXPECT_THROW((void)run_distributed_program([](auto& bk) {
+                 bk.superstep(7, [](auto&) {});  // label >= log_v
+               }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_distributed_program([](auto& bk) {
+                 bk.superstep(0, [](auto& vp) { vp.send_dummy(99); });
+               }),
+               std::out_of_range);
+  EXPECT_THROW((void)run_distributed_program([](auto& bk) {
+                 // At label 1 the 1-cluster of VP 0 is {0, 1}: dst 2 leaves.
+                 bk.superstep(1, [](auto& vp) {
+                   if (vp.id() == 0) vp.send_dummy(2);
+                 });
+               }),
+               ClusterViolation);
+  EXPECT_THROW((void)run_distributed_program([](auto& bk) {
+                 bk.superstep(0, [&bk](auto&) {
+                   bk.superstep(0, [](auto&) {});  // nested
+                 });
+               }),
+               std::logic_error);
+  EXPECT_THROW((void)run_distributed_program([](auto& bk) {
+                 const std::vector<std::uint64_t> active = {2, 1};
+                 bk.superstep_sparse(0, active, [](auto&) {});
+               }),
+               std::invalid_argument);
+}
+
+TEST(Distributed, WorkerProgramExceptionsCarryTheirMessage) {
+  try {
+    (void)run_distributed_program([](auto& bk) {
+      bk.superstep(0, [](auto& vp) {
+        if (vp.id() == 3) throw std::runtime_error("kernel exploded at vp 3");
+      });
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "kernel exploded at vp 3");
+  }
+}
+
+TEST(Distributed, SparseAndRangedSuperstepsMergeLikeTheReference) {
+  // Drivers beyond the dense one: a ranged superstep and a sparse active
+  // set, including self-sends (degree-invisible, message-visible).
+  auto program = [](auto& bk) {
+    bk.superstep_range(0, 2, 6, [](auto& vp) { vp.send_dummy(vp.id(), 3); });
+    const std::vector<std::uint64_t> active = {1, 4, 7};
+    bk.superstep_sparse(1, active,
+                        [](auto& vp) { vp.send_dummy(vp.id() ^ 1, 1); });
+  };
+  Schedule recorded;
+  RunOptions record_options;
+  record_options.backend = BackendKind::kRecord;
+  record_options.capture = &recorded;
+  const Trace reference =
+      run_for_trace<std::uint64_t>(8, record_options, program);
+
+  Schedule merged;
+  RunOptions options;
+  options.backend = BackendKind::kDistributed;
+  options.capture = &merged;
+  const Trace distributed = run_for_trace<std::uint64_t>(8, options, program);
+  expect_traces_identical(distributed, reference);
+  expect_schedules_identical(merged, recorded);
+}
+
+TEST(Distributed, TransportNamesRoundTrip) {
+  for (const dist::Transport t :
+       {dist::Transport::kFork, dist::Transport::kTcp}) {
+    EXPECT_EQ(dist::transport_from_string(dist::to_string(t)), t);
+  }
+  EXPECT_THROW((void)dist::transport_from_string("udp"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nobl

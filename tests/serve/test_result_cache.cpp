@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "bsp/backend.hpp"
 #include "bsp/execution.hpp"
@@ -170,6 +172,54 @@ TEST(ResultCache, ConcurrentIdenticalCellsComputeOnce) {
   const ResultCache::Counters counters = cache.counters();
   EXPECT_EQ(counters.executed, 1u);
   EXPECT_EQ(counters.coalesced + counters.memory_hits, 1u);
+}
+
+TEST(ResultCache, RacingStoresToOneDirectoryLeaveNoTempDebris) {
+  // Regression: store_to_disk used one fixed "<path>.tmp" name, so two
+  // caches sharing a directory (or two threads racing one key) truncated
+  // each other's half-written temp file — the published entry could carry
+  // torn bytes. The temp name now includes pid + a process-wide sequence
+  // and is fsynced before rename, so every racer publishes atomically.
+  const std::string dir = fresh_dir("racing_stores");
+  const CacheKey key{"fft", 64, BackendKind::kSimulate};
+  constexpr int kRacers = 8;
+  std::deque<ResultCache> caches;  // deque: ResultCache is not movable
+  for (int i = 0; i < kRacers; ++i) {
+    caches.emplace_back(ResultCache::Config{dir, 4});
+  }
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    racers.emplace_back([&caches, &key, i] {
+      (void)caches[static_cast<std::size_t>(i)].get_or_compute(
+          key, [] { return run_kernel("fft", 64); });
+    });
+  }
+  for (std::thread& racer : racers) racer.join();
+
+  std::size_t finals = 0;
+  std::size_t temps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++temps;
+    } else {
+      ++finals;
+    }
+  }
+  EXPECT_EQ(finals, 1u);
+  EXPECT_EQ(temps, 0u) << "racing stores must clean up their temp files";
+  // The survivor must replay intact on a cold instance.
+  ResultCache cold({dir, 4});
+  CacheTier tier = CacheTier::kMemory;
+  const auto trace = cold.get_or_compute(
+      key,
+      []() -> Trace {
+        ADD_FAILURE() << "the stored entry must satisfy a disk hit";
+        return run_kernel("fft", 64);
+      },
+      &tier);
+  EXPECT_EQ(tier, CacheTier::kDisk);
+  EXPECT_EQ(trace->total_messages(), run_kernel("fft", 64).total_messages());
 }
 
 TEST(ResultCache, ComputeFailurePropagatesAndDoesNotPoison) {

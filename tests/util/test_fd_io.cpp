@@ -1,0 +1,121 @@
+// Regression suite for the EINTR bugs: the serve client treated an
+// interrupted send() as "connection closed", the server's LineWriter could
+// drop the unsent tail of a short write, and handle_connection treated
+// recv() == -1 (EINTR) as EOF. All three paths now route through
+// util/fd_io; this suite drives those helpers under a real signal storm —
+// no SA_RESTART, so every syscall in flight actually returns EINTR — and
+// pins the EOF-vs-error distinction the connection loop relies on.
+#include "util/fd_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace nobl {
+namespace {
+
+void on_signal(int) {}  // must exist; EINTR delivery is the whole point
+
+class FdIoSignalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_action_), 0);
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    // Tiny buffers force many short writes: every send blocks, maximizing
+    // the window in which a signal can interrupt it.
+    const int small = 4096;
+    setsockopt(fds_[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+    setsockopt(fds_[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  }
+
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+    sigaction(SIGUSR1, &old_action_, nullptr);
+  }
+
+  int fds_[2] = {-1, -1};
+  struct sigaction old_action_ = {};
+};
+
+TEST_F(FdIoSignalTest, SendAllAndRecvExactSurviveASignalStorm) {
+  std::vector<unsigned char> payload(std::size_t{1} << 21);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<unsigned char>((i * 131) % 251);
+  }
+  std::vector<unsigned char> received(payload.size());
+
+  bool recv_ok = false;
+  std::thread reader([&] {
+    recv_ok = io::recv_exact(fds_[1], received.data(), received.size());
+  });
+  const pthread_t writer = pthread_self();
+  const pthread_t reader_handle = reader.native_handle();
+
+  std::atomic<bool> done{false};
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      pthread_kill(writer, SIGUSR1);
+      pthread_kill(reader_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  const bool send_ok = io::send_all(fds_[0], payload.data(), payload.size());
+  reader.join();
+  done.store(true, std::memory_order_relaxed);
+  storm.join();
+
+  EXPECT_TRUE(send_ok);
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(received, payload);  // every byte, in order, despite the storm
+}
+
+TEST_F(FdIoSignalTest, RecvDistinguishesCleanEofFromErrors) {
+  const char byte = 'x';
+  ASSERT_TRUE(io::send_all(fds_[0], &byte, 1));
+  close(fds_[0]);
+  fds_[0] = -1;
+
+  char got = 0;
+  EXPECT_EQ(io::recv_some(fds_[1], &got, 1), 1);
+  EXPECT_EQ(got, 'x');
+  // Orderly shutdown: recv_some reports 0, recv_exact reports failure with
+  // errno == 0 — the signal the connection loop uses to tell "peer hung
+  // up" from "real error" (the old code conflated EINTR with this case).
+  EXPECT_EQ(io::recv_some(fds_[1], &got, 1), 0);
+  errno = 0;
+  EXPECT_FALSE(io::recv_exact(fds_[1], &got, 1));
+  EXPECT_EQ(errno, 0);
+}
+
+TEST_F(FdIoSignalTest, SendToAClosedPeerFailsInsteadOfRaisingSigpipe) {
+  close(fds_[1]);
+  fds_[1] = -1;
+  std::vector<char> junk(std::size_t{1} << 16, 'y');
+  // Fill the send buffer until the peer's absence surfaces. MSG_NOSIGNAL
+  // inside send_all means this returns false rather than killing the
+  // process with SIGPIPE.
+  bool ok = true;
+  for (int i = 0; i < 64 && ok; ++i) {
+    ok = io::send_all(fds_[0], junk.data(), junk.size());
+  }
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace nobl
