@@ -14,6 +14,7 @@ kernel without regenerating) fails fast.
 """
 
 import argparse
+import difflib
 import json
 import sys
 
@@ -46,19 +47,32 @@ def sizes(values):
     return ", ".join(str(v) for v in values)
 
 
+def obliviousness(algo):
+    """The registry's static annotation, verified by `nobl audit`."""
+    return "oblivious" if algo["input_independent"] else "data-dependent"
+
+
 def render(doc):
     algos = doc["algorithms"]
     out = [HEADER]
     out.append("## Catalog ({} kernels, registry schema v{})\n".format(
         len(algos), doc["schema_version"]))
-    out.append("| name | source | communication pattern | predicted H(n, p, σ) |")
-    out.append("| --- | --- | --- | --- |")
+    out.append("| name | source | communication pattern | predicted H(n, p, σ) | obliviousness |")
+    out.append("| --- | --- | --- | --- | --- |")
     for a in algos:
-        out.append("| `{name}` | {source} | {pattern} | {formula} |".format(**a))
+        out.append("| `{name}` | {source} | {pattern} | {formula} | {obl} |".format(
+            obl=obliviousness(a), **a))
     out.append("")
     out.append("`exact` means the predicted formula is the measured H at every fold")
     out.append("and σ, not an asymptotic bound; those kernels carry closed-form trace")
     out.append("synthesizers and are the calibration rows of the backend sweeps.")
+    out.append("")
+    out.append("The *obliviousness* column is the registry's `input_independent`")
+    out.append("annotation — `oblivious` kernels have a communication pattern that is")
+    out.append("a static function of n alone. The annotation is not taken on faith:")
+    out.append("`nobl audit` re-derives it statically by taint-classifying every")
+    out.append("kernel's program (see [AUDIT.md](AUDIT.md)) and CI fails on any")
+    out.append("disagreement.")
     out.append("")
     out.append("## Admissibility and backend dispatch\n")
     out.append("| name | defined in | admissible n | exact H | analytic dispatch | smoke sizes |")
@@ -102,6 +116,12 @@ def main():
         with open(args.check, encoding="utf-8") as f:
             committed = f.read()
         if committed != rendered:
+            diff = difflib.unified_diff(
+                committed.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile="{} (committed)".format(args.check),
+                tofile="{} (regenerated)".format(args.check))
+            sys.stderr.writelines(diff)
             sys.stderr.write(
                 "{} is stale: regenerate with\n"
                 "  ./build/nobl list --json | python3 scripts/gen_kernels_md.py"

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Run the repo's curated clang-tidy gate (.clang-tidy) over every
+# translation unit in compile_commands.json — the same invocation CI's
+# `tidy` job uses.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to ./build and must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists.txt sets it
+# unconditionally). Exits 0 when clang-tidy is not installed so local
+# pre-commit use degrades gracefully; CI installs it and therefore gates.
+set -eu
+
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy.sh: $db missing — configure $build_dir first" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelizes over the database when available; fall back
+# to a sequential loop over the repo's own sources (third-party TUs that
+# leak into the database, e.g. _deps, are filtered either way).
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$build_dir" "$@" '^(?!.*_deps).*/(src|tests|bench|examples)/.*'
+else
+  status=0
+  for tu in $(python3 -c "
+import json, sys
+for entry in json.load(open('$db')):
+    f = entry['file']
+    if '_deps' in f:
+        continue
+    if any(('/' + d + '/') in f for d in ('src', 'tests', 'bench', 'examples')):
+        print(f)
+"); do
+    clang-tidy -quiet -p "$build_dir" "$@" "$tu" || status=1
+  done
+  exit $status
+fi

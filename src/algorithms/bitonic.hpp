@@ -26,6 +26,7 @@
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
+#include "util/dep.hpp"
 
 namespace nobl {
 
@@ -35,16 +36,18 @@ struct BitonicRun {
 };
 
 /// The bitonic network as a program on any Backend with bk.v() == |keys|.
-/// Fully host-mirrored; returns the sorted keys.
-template <typename Backend>
-std::vector<std::uint64_t> bitonic_sort_program(
-    Backend& bk, const std::vector<std::uint64_t>& keys) {
+/// Fully host-mirrored; returns the sorted keys. Value-generic: V is a
+/// plain key in production and the audit layer's tracked wrapper under
+/// obliviousness analysis (compare-exchange goes through dep::, so tracked
+/// instantiations stay declassification-free).
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> bitonic_sort_program(Backend& bk, const std::vector<V>& keys) {
   const std::uint64_t n = keys.size();
   if (n != bk.v()) {
     throw std::invalid_argument("bitonic_sort_program: one key per VP");
   }
   const unsigned log_n = bk.log_v();
-  std::vector<std::uint64_t> values = keys;
+  std::vector<V> values = keys;
 
   if (n == 1) {
     bk.superstep(0, [](auto&) {});
@@ -57,7 +60,7 @@ std::vector<std::uint64_t> bitonic_sort_program(
     for (unsigned bit = phase + 1; bit-- > 0;) {
       const std::uint64_t mask = std::uint64_t{1} << bit;
       const unsigned label = log_n - 1 - bit;
-      std::vector<std::uint64_t> next(values);
+      std::vector<V> next(values);
       bk.superstep(label, [&](auto& vp) {
         const std::uint64_t partner = vp.id() ^ mask;
         vp.send(partner, values[vp.id()]);
@@ -65,11 +68,10 @@ std::vector<std::uint64_t> bitonic_sort_program(
             (vp.id() & (std::uint64_t{1} << (phase + 1))) == 0 ||
             phase + 1 == log_n;
         const bool keep_low = (vp.id() & mask) == 0;
-        const std::uint64_t mine = values[vp.id()];
-        const std::uint64_t theirs = values[partner];
-        const std::uint64_t low = std::min(mine, theirs);
-        const std::uint64_t high = std::max(mine, theirs);
-        next[vp.id()] = (keep_low == ascending) ? low : high;
+        const V& mine = values[vp.id()];
+        const V& theirs = values[partner];
+        next[vp.id()] = (keep_low == ascending) ? dep::min_value(mine, theirs)
+                                                : dep::max_value(mine, theirs);
       });
       values.swap(next);
     }

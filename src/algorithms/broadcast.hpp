@@ -40,16 +40,16 @@ struct BroadcastRun {
 /// The κ-ary tree broadcast as a program on any Backend: in round i the
 /// holders (VPs at multiples of v/κ^i) forward to the κ evenly spaced
 /// representatives of their block's κ sub-blocks. Rounds stop when the
-/// spacing reaches 1. Returns the per-VP values (host-mirrored).
-template <typename Backend>
-std::vector<std::uint64_t> broadcast_program(Backend& bk, std::uint64_t kappa,
-                                             std::uint64_t value) {
+/// spacing reaches 1. Value-generic over the payload type V. Returns the
+/// per-VP values (host-mirrored).
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> broadcast_program(Backend& bk, std::uint64_t kappa, V value) {
   const std::uint64_t v = bk.v();
   if (!is_pow2(kappa) || kappa < 2) {
     throw std::invalid_argument(
         "broadcast_program: kappa must be a power of two >= 2");
   }
-  std::vector<std::uint64_t> values(v, 0);
+  std::vector<V> values(v, V{});
   values[0] = value;
   std::vector<bool> holds(v, false);
   holds[0] = true;

@@ -59,18 +59,20 @@ struct FftRun {
 /// The FFT program on any Backend with bk.v() == |x|: the six-step
 /// recursion, fully host-mirrored (bodies route the complex payloads;
 /// every value is also mirrored on the host so the schedule is identical
-/// under non-delivering backends). Returns X[k] at index k.
-template <typename Backend>
-std::vector<std::complex<double>> fft_program(
-    Backend& bk, const std::vector<std::complex<double>>& x,
-    bool wiseness_dummies = true) {
+/// under non-delivering backends). Value-generic: V is a plain complex
+/// point in production and the audit layer's tracked wrapper under
+/// obliviousness analysis; the twiddle factors stay raw complex scalars.
+/// Returns X[k] at index k.
+template <typename Backend, typename V = std::complex<double>>
+std::vector<V> fft_program(Backend& bk, const std::vector<V>& x,
+                           bool wiseness_dummies = true) {
   using C = std::complex<double>;
   const std::uint64_t n = x.size();
   if (n != bk.v()) {
     throw std::invalid_argument("fft_program: one point per VP required");
   }
   const unsigned log_n = bk.log_v();
-  std::vector<C> values = x;
+  std::vector<V> values = x;
 
   if (n == 1) {
     bk.superstep(0, [](auto&) {});
@@ -88,11 +90,11 @@ std::vector<std::complex<double>> fft_program(
   auto segment_permute = [&](std::uint64_t seg, auto local_perm,
                              auto pre_scale) {
     const unsigned label = log_n - log2_exact(seg);
-    std::vector<C> next(n);
+    std::vector<V> next(n);
     bk.superstep(label, [&](auto& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       const std::uint64_t local = vp.id() - base;
-      const C value = values[vp.id()] * pre_scale(local);
+      const V value = values[vp.id()] * pre_scale(local);
       const std::uint64_t dst = base + local_perm(local);
       vp.send(dst, value);
       next[dst] = value;
@@ -106,7 +108,7 @@ std::vector<std::complex<double>> fft_program(
   // Base butterfly: segments of 2 VPs exchange and compute the 2-point DFT.
   auto butterfly2 = [&]() {
     const unsigned label = log_n - 1;
-    std::vector<C> next(n);
+    std::vector<V> next(n);
     bk.superstep(label, [&](auto& vp) {
       const std::uint64_t partner = vp.id() ^ 1;
       vp.send(partner, values[vp.id()]);

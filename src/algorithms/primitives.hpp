@@ -194,10 +194,10 @@ struct ShiftRun {
 };
 
 /// Tree reduction of the whole machine (the upsweep half of scan):
-/// H = log p · (1 + σ), exact at every fold. Returns the total.
-template <typename Backend>
-std::uint64_t reduce_program(Backend& bk,
-                             const std::vector<std::uint64_t>& values) {
+/// H = log p · (1 + σ), exact at every fold. Value-generic over any
+/// additive V. Returns the total.
+template <typename Backend, typename V = std::uint64_t>
+V reduce_program(Backend& bk, const std::vector<V>& values) {
   if (values.size() != bk.v()) {
     throw std::invalid_argument("reduce_program: one value per VP required");
   }
@@ -205,18 +205,17 @@ std::uint64_t reduce_program(Backend& bk,
     bk.superstep(0, [](auto&) {});
     return values[0];
   }
-  std::vector<std::uint64_t> work = values;
-  reduce_segments(bk, std::span<std::uint64_t>(work), bk.v(),
-                  [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  std::vector<V> work = values;
+  reduce_segments(bk, std::span<V>(work), bk.v(),
+                  [](const V& a, const V& b) { return V(a + b); });
   return work[0];
 }
 
 /// Flat gather: every VP ships its value to VP 0 in one 0-superstep —
 /// the maximally unbalanced pattern, H = n·(1 − 1/p) + σ exact (the
 /// counterpoint motivating §4.5's trees). Returns the gathered values.
-template <typename Backend>
-std::vector<std::uint64_t> gather_program(
-    Backend& bk, const std::vector<std::uint64_t>& values) {
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> gather_program(Backend& bk, const std::vector<V>& values) {
   if (values.size() != bk.v()) {
     throw std::invalid_argument("gather_program: one value per VP required");
   }
@@ -229,9 +228,8 @@ std::vector<std::uint64_t> gather_program(
 /// Cyclic shift by v/2: the maximally balanced all-cross permutation — every
 /// value changes processor at every fold, H = n/p + σ exact. Returns the
 /// shifted values.
-template <typename Backend>
-std::vector<std::uint64_t> shift_program(
-    Backend& bk, const std::vector<std::uint64_t>& values) {
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> shift_program(Backend& bk, const std::vector<V>& values) {
   if (values.size() != bk.v()) {
     throw std::invalid_argument("shift_program: one value per VP required");
   }
@@ -239,8 +237,8 @@ std::vector<std::uint64_t> shift_program(
     bk.superstep(0, [](auto&) {});
     return values;
   }
-  std::vector<std::uint64_t> work = values;
-  cyclic_shift(bk, std::span<std::uint64_t>(work), bk.v() / 2);
+  std::vector<V> work = values;
+  cyclic_shift(bk, std::span<V>(work), bk.v() / 2);
   return work;
 }
 

@@ -36,12 +36,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "bsp/backend.hpp"
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
+#include "util/dep.hpp"
 
 namespace nobl {
 
@@ -58,11 +60,13 @@ struct SampleSortRun {
 /// The sample-sort program on any Backend with bk.v() == |keys|. The
 /// schedule is fully host-mirrored — including the data-dependent routing
 /// phases, whose destinations are computed from host key state — so every
-/// backend sees the identical superstep/send sequence. Returns the sorted
-/// keys.
-template <typename Backend>
-std::vector<std::uint64_t> samplesort_program(
-    Backend& bk, const std::vector<std::uint64_t>& keys) {
+/// backend sees the identical superstep/send sequence. Value-generic: the
+/// routing indices flow through dep::, so the audit layer's tracked
+/// instantiation watches key influence reach the send destinations of
+/// phases 5 and 8 (this is the suite's one genuinely data-dependent
+/// kernel). Returns the sorted keys.
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> samplesort_program(Backend& bk, const std::vector<V>& keys) {
   const std::uint64_t n = keys.size();
   if (n != bk.v()) {
     throw std::invalid_argument("samplesort_program: one key per VP required");
@@ -83,7 +87,7 @@ std::vector<std::uint64_t> samplesort_program(
   // parallel-engine safe.
 
   // Phase 1: regular samples (one per bucket cluster) gather into [0, s).
-  std::vector<std::uint64_t> samples(s);
+  std::vector<V> samples(s);
   bk.superstep(0, [&](auto& vp) {
     if (vp.id() % c == 0) vp.send(vp.id() / c, keys[vp.id()]);
   });
@@ -97,7 +101,7 @@ std::vector<std::uint64_t> samplesort_program(
       bk.superstep_range(label, 0, s, [&](auto& vp) {
         vp.send(vp.id() ^ mask, samples[vp.id()]);
       });
-      std::vector<std::uint64_t> next(samples);
+      std::vector<V> next(samples);
       for (std::uint64_t r = 0; r < s; ++r) {
         const std::uint64_t partner = r ^ mask;
         // Final-phase runs are ascending for free: bit log s of r < s is 0.
@@ -105,15 +109,15 @@ std::vector<std::uint64_t> samplesort_program(
             (r & (std::uint64_t{1} << (phase + 1))) == 0;
         const bool keep_low = (r & mask) == 0;
         next[r] = (keep_low == ascending)
-                      ? std::min(samples[r], samples[partner])
-                      : std::max(samples[r], samples[partner]);
+                      ? dep::min_value(samples[r], samples[partner])
+                      : dep::max_value(samples[r], samples[partner]);
       }
       samples.swap(next);
     }
   }
 
   // Phase 3: sorted samples 1..s-1 (the splitters) gather at VP 0.
-  std::vector<std::uint64_t> splitters(samples.begin() + 1, samples.end());
+  std::vector<V> splitters(samples.begin() + 1, samples.end());
   if (s >= 2) {
     bk.superstep_range(0, 1, s,
                        [&](auto& vp) { vp.send(0, samples[vp.id()]); });
@@ -127,7 +131,7 @@ std::vector<std::uint64_t> samplesort_program(
       const std::uint64_t child = spacing / 2;
       bk.superstep(round, [&](auto& vp) {
         if (vp.id() % spacing != 0) return;
-        for (const std::uint64_t w : splitters) vp.send(vp.id() + child, w);
+        for (const V& w : splitters) vp.send(vp.id() + child, w);
       });
     }
   }
@@ -135,24 +139,27 @@ std::vector<std::uint64_t> samplesort_program(
   // Phase 5: route every key to its bucket cluster; sender r lands on the
   // cluster slot r mod c, so contention only reflects genuine skew. The
   // destinations are precomputed once, shared by the superstep body and
-  // the host mirror.
-  std::vector<std::uint64_t> route_dst(n);
+  // the host mirror. This is where key values first steer routing: the
+  // bucket index is a dep:: search over the splitters, so tracked
+  // instantiations carry key influence into the send destination.
+  std::vector<dep::index_t<V>> route_dst(n);
   for (std::uint64_t r = 0; r < n; ++r) {
-    const std::uint64_t b = static_cast<std::uint64_t>(
-        std::upper_bound(splitters.begin(), splitters.end(), keys[r]) -
-        splitters.begin());
-    route_dst[r] = b * c + r % c;
+    route_dst[r] = dep::upper_bound_index(splitters, keys[r]) * c + r % c;
   }
-  std::vector<std::vector<std::uint64_t>> held(n);
+  std::vector<std::vector<V>> held(n);
   bk.superstep(
       0, [&](auto& vp) { vp.send(route_dst[vp.id()], keys[vp.id()]); });
-  for (std::uint64_t r = 0; r < n; ++r) held[route_dst[r]].push_back(keys[r]);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    held[dep::index(route_dst[r])].push_back(keys[r]);
+  }
 
   // Phase 6: all-to-all inside every bucket — each member replays its held
   // keys to the other c-1 members, after which everyone knows the bucket.
+  // The *set of keys held* was selected by key values (the dep::index
+  // reads above), so this superstep is control-dependent on the input.
   bk.superstep(log_s, [&](auto& vp) {
     const std::uint64_t base = vp.id() & ~(c - 1);
-    for (const std::uint64_t key : held[vp.id()]) {
+    for (const V& key : held[vp.id()]) {
       for (std::uint64_t o = base; o < base + c; ++o) {
         if (o != vp.id()) vp.send(o, key);
       }
@@ -161,26 +168,25 @@ std::vector<std::uint64_t> samplesort_program(
 
   // Host mirror: per-bucket stable ranks. Bucket order = (holder VP, held
   // index) ascending — exactly the engine's delivery order — so equal keys
-  // rank deterministically.
+  // rank deterministically. The ranks are a payload-order statistic, kept
+  // in dep:: index space (no value inspection) until phase 8 places keys.
   std::vector<std::uint64_t> bucket_size(s, 0);
-  std::vector<std::vector<std::uint64_t>> rank(n);  // rank[q][i]: local rank
+  std::vector<std::vector<dep::index_t<V>>> rank(n);  // rank[q][i]: local
   for (std::uint64_t q = 0; q < n; ++q) rank[q].resize(held[q].size());
   for (std::uint64_t b = 0; b < s; ++b) {
-    std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t, std::size_t>>>
-        bucket;
+    std::vector<V> bucket_keys;
+    std::vector<std::pair<std::uint64_t, std::size_t>> origin;
     for (std::uint64_t q = b * c; q < (b + 1) * c; ++q) {
       for (std::size_t i = 0; i < held[q].size(); ++i) {
-        bucket.push_back({held[q][i], {q, i}});
+        bucket_keys.push_back(held[q][i]);
+        origin.push_back({q, i});
       }
     }
-    std::stable_sort(bucket.begin(), bucket.end(),
-                     [](const auto& x, const auto& y) {
-                       return x.first < y.first;
-                     });
-    bucket_size[b] = bucket.size();
-    for (std::size_t g = 0; g < bucket.size(); ++g) {
-      const auto [q, i] = bucket[g].second;
-      rank[q][i] = g;
+    const std::vector<dep::index_t<V>> ranks = dep::stable_ranks(bucket_keys);
+    bucket_size[b] = bucket_keys.size();
+    for (std::size_t g = 0; g < bucket_keys.size(); ++g) {
+      const auto [q, i] = origin[g];
+      rank[q][i] = ranks[g];
     }
   }
 
@@ -221,8 +227,9 @@ std::vector<std::uint64_t> samplesort_program(
     }
   }
 
-  // Phase 8: every key moves to its final rank.
-  std::vector<std::uint64_t> output(n);
+  // Phase 8: every key moves to its final rank (a key-derived destination
+  // again: rank is tracked index state).
+  std::vector<V> output(n);
   bk.superstep(0, [&](auto& vp) {
     const std::uint64_t b = vp.id() / c;
     for (std::size_t i = 0; i < held[vp.id()].size(); ++i) {
@@ -232,7 +239,7 @@ std::vector<std::uint64_t> samplesort_program(
   for (std::uint64_t q = 0; q < n; ++q) {
     const std::uint64_t b = q / c;
     for (std::size_t i = 0; i < held[q].size(); ++i) {
-      output[offset[b] + rank[q][i]] = held[q][i];
+      output[dep::index(offset[b] + rank[q][i])] = held[q][i];
     }
   }
 

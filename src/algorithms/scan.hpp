@@ -44,10 +44,11 @@ struct ScanRun {
 
 /// The scan program: inclusive prefix sums of n = bk.v() = |values| values,
 /// emitted onto any Backend (the schedule is fully host-mirrored, so every
-/// backend sees the identical superstep/send sequence). Returns the output.
-template <typename Backend>
-std::vector<std::uint64_t> scan_program(
-    Backend& bk, const std::vector<std::uint64_t>& values) {
+/// backend sees the identical superstep/send sequence). Value-generic over
+/// any additive V (plain machine values or the audit layer's tracked
+/// wrapper). Returns the output.
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> scan_program(Backend& bk, const std::vector<V>& values) {
   const std::uint64_t n = values.size();
   if (n != bk.v()) {
     throw std::invalid_argument("scan_program: one value per VP required");
@@ -64,7 +65,7 @@ std::vector<std::uint64_t> scan_program(
   // every left-half total. Superstep bodies only send; the host mirrors
   // the fold after each barrier (bodies must not write state co-active
   // VPs read).
-  std::vector<std::vector<std::uint64_t>> totals(log_n + 1);
+  std::vector<std::vector<V>> totals(log_n + 1);
   totals[0] = values;
   for (unsigned t = 0; t < log_n; ++t) {
     const std::uint64_t block = std::uint64_t{1} << t;
@@ -82,7 +83,7 @@ std::vector<std::uint64_t> scan_program(
   // Downsweep. prefix[b] = sum of everything before block b at the current
   // granularity (compacted like totals); right halves receive prefix +
   // left total from their block leader.
-  std::vector<std::uint64_t> prefix{0};
+  std::vector<V> prefix{V{}};
   for (unsigned t = log_n; t-- > 0;) {
     const std::uint64_t block = std::uint64_t{1} << t;
     const unsigned label = log_n - (t + 1);
@@ -92,7 +93,7 @@ std::vector<std::uint64_t> scan_program(
         vp.send(r + block, prefix[r >> (t + 1)] + totals[t][r >> t]);
       }
     });
-    std::vector<std::uint64_t> next(n >> t);
+    std::vector<V> next(n >> t);
     for (std::uint64_t b = 0; b < prefix.size(); ++b) {
       next[2 * b] = prefix[b];
       next[2 * b + 1] = prefix[b] + totals[t][2 * b];
@@ -100,7 +101,7 @@ std::vector<std::uint64_t> scan_program(
     prefix.swap(next);
   }
 
-  std::vector<std::uint64_t> output(n);
+  std::vector<V> output(n);
   for (std::uint64_t r = 0; r < n; ++r) output[r] = prefix[r] + values[r];
   return output;
 }

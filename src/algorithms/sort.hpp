@@ -39,6 +39,7 @@
 #include "bsp/machine.hpp"
 #include "bsp/trace.hpp"
 #include "util/bits.hpp"
+#include "util/dep.hpp"
 
 namespace nobl {
 
@@ -48,17 +49,19 @@ struct SortRun {
 };
 
 /// The recursive Columnsort program on any Backend with bk.v() == |keys|.
-/// Fully host-mirrored; returns the sorted keys.
-template <typename Backend>
-std::vector<std::uint64_t> sort_program(Backend& bk,
-                                        const std::vector<std::uint64_t>& keys,
-                                        bool wiseness_dummies = true) {
+/// Fully host-mirrored; returns the sorted keys. Value-generic: the base
+/// case sorts payload segments through dep::sort_values, a payload-internal
+/// permutation, so the audit layer's tracked instantiation proves the
+/// schedule input-independent.
+template <typename Backend, typename V = std::uint64_t>
+std::vector<V> sort_program(Backend& bk, const std::vector<V>& keys,
+                            bool wiseness_dummies = true) {
   const std::uint64_t n = keys.size();
   if (n != bk.v()) {
     throw std::invalid_argument("sort_program: one key per VP required");
   }
   const unsigned log_n = bk.log_v();
-  std::vector<std::uint64_t> values = keys;
+  std::vector<V> values = keys;
 
   if (n == 1) {
     bk.superstep(0, [](auto&) {});
@@ -73,7 +76,7 @@ std::vector<std::uint64_t> sort_program(Backend& bk,
   // One superstep permuting values within every aligned segment of `seg` VPs.
   auto segment_permute = [&](std::uint64_t seg, auto local_perm) {
     const unsigned label = log_n - log2_exact(seg);
-    std::vector<std::uint64_t> next(n);
+    std::vector<V> next(n);
     bk.superstep(label, [&](auto& vp) {
       const std::uint64_t base = vp.id() & ~(seg - 1);
       const std::uint64_t dst = base + local_perm(vp.id() - base);
@@ -98,7 +101,7 @@ std::vector<std::uint64_t> sort_program(Backend& bk,
     });
     // Host mirror of what every segment member computes from its inbox.
     for (std::uint64_t base = 0; base < n; base += seg) {
-      std::sort(values.begin() + base, values.begin() + base + seg);
+      dep::sort_values(values.begin() + base, values.begin() + base + seg);
     }
   };
 

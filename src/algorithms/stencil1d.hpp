@@ -54,24 +54,25 @@ struct Stencil1Run {
 
 /// The (n,1)-stencil program (diamond-decomposition schedule) on any
 /// Backend with bk.v() == |input|. Fully host-mirrored: the grid lives on
-/// the host and bodies only evaluate their own leaves and send. Returns the
-/// evaluated space-time grid.
-template <typename Backend>
-Matrix<double> stencil1_program(Backend& bk, const std::vector<double>& input,
-                                const Stencil1Fn& f,
-                                bool wiseness_dummies = true,
-                                std::uint64_t k_override = 0) {
+/// the host and bodies only evaluate their own leaves and send. Value- and
+/// rule-generic: V is double under production (Fn = Stencil1Fn) and the
+/// audit layer's tracked wrapper with a generic update lambda under
+/// obliviousness analysis. Returns the evaluated space-time grid.
+template <typename Backend, typename V = double, typename Fn = Stencil1Fn>
+Matrix<V> stencil1_program(Backend& bk, const std::vector<V>& input,
+                           const Fn& f, bool wiseness_dummies = true,
+                           std::uint64_t k_override = 0) {
   const std::uint64_t n = input.size();
   if (n != bk.v()) {
     throw std::invalid_argument("stencil1_program: one band per VP required");
   }
   const DiamondSchedule sched(n, k_override);
 
-  Matrix<double> grid(n, n, 0.0);
+  Matrix<V> grid(n, n, V{});
   for (std::uint64_t x = 0; x < n; ++x) grid(0, x) = input[x];
 
-  auto cell = [&](std::int64_t x, std::int64_t t) -> double {
-    if (x < 0 || x >= static_cast<std::int64_t>(n)) return 0.0;
+  auto cell = [&](std::int64_t x, std::int64_t t) -> V {
+    if (x < 0 || x >= static_cast<std::int64_t>(n)) return V{};
     return grid(static_cast<std::size_t>(t), static_cast<std::size_t>(x));
   };
   auto eval_node = [&](std::int64_t u, std::int64_t w) {

@@ -63,7 +63,6 @@ void DegreeAccumulator::finalize_into(SuperstepRecord& record) {
     }
   }
   if (!touched_.empty() && cluster_active_.empty()) {
-    const std::size_t v = std::size_t{1} << log_v_;
     cluster_sent_.assign(v, 0);
     cluster_recv_.assign(v, 0);
     cluster_active_.assign(v, 0);

@@ -5,6 +5,8 @@
 //   nobl trace    export / inspect / replay recorded traces (csv or .nbt)
 //   nobl convert  translate a trace between the csv and binary formats
 //   nobl list     enumerate registered algorithms and builtin campaigns
+//   nobl audit    static obliviousness verifier: taint-classify kernels,
+//                 lint recorded schedules (docs/AUDIT.md)
 //   nobl check    validate a result JSON, replay golden traces, or gate a
 //                 serve stats document, optionally against thresholds
 //   nobl serve    long-running campaign service over a local socket with a
@@ -23,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/kernel_audit.hpp"
 #include "bsp/cost.hpp"
 #include "bsp/trace_io.hpp"
 #include "bsp/trace_store.hpp"
@@ -33,6 +36,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/bits.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace nobl {
@@ -119,6 +123,13 @@ const std::vector<CommandSpec>& command_registry() {
        false},
       {"convert", {{"--to", true}, {"--help", false}}, true},
       {"list", {{"--json", false}, {"--help", false}}, false},
+      {"audit",
+       {{"--kernel", true},
+        {"--n", true},
+        {"--json", false},
+        {"--quiet", false},
+        {"--help", false}},
+       false},
       {"check",
        {{"--results", true},
         {"--thresholds", true},
@@ -1090,6 +1101,162 @@ int cmd_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_audit_help() {
+  std::cout <<
+      R"(nobl audit — static obliviousness verifier over the program IR.
+
+Runs two non-executing passes per kernel (docs/AUDIT.md):
+
+  1. taint classification: the kernel's program template is instantiated
+     with tracked payloads and driven by the audit backend; input influence
+     on destinations, dummy counts, or control flow marks the superstep
+     data-dependent. The verdict is cross-checked against the registry's
+     input_independent annotation.
+  2. schedule lint: the recorded schedule is checked against the D-BSP
+     structural invariants (cluster containment per label, dummy-traffic
+     discipline, degree structure) and the registry's predict::/lb::
+     formulas.
+
+Exit codes: 0 all kernels pass, 1 any mismatch or lint finding, 2 usage.
+
+Usage:
+  nobl audit [--kernel NAME] [--n SIZE] [--json] [--quiet]
+
+Options:
+  --kernel NAME  audit only the named kernel (default: all)
+  --n SIZE       audit size (registry size semantics; requires --kernel;
+                 default: the kernel's first smoke size)
+  --json         machine-readable report on stdout
+  --quiet        suppress the text table; exit status only
+  --help         this text
+)";
+}
+
+void write_audit_json(std::ostream& os,
+                      const std::vector<audit::KernelVerdict>& verdicts) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  bool all_passed = true;
+  for (const audit::KernelVerdict& verdict : verdicts) {
+    all_passed = all_passed && verdict.passed();
+  }
+  w.key("passed").value(all_passed);
+  w.key("kernels").begin_array();
+  for (const audit::KernelVerdict& verdict : verdicts) {
+    w.begin_object();
+    w.key("name").value(verdict.name);
+    w.key("n").value(verdict.n);
+    w.key("oblivious").value(!verdict.data_dependent);
+    w.key("registry_input_independent")
+        .value(verdict.registry_input_independent);
+    w.key("matches_registry").value(verdict.matches_registry);
+    w.key("tainted_destinations").value(verdict.report.tainted_destinations());
+    w.key("tainted_counts").value(verdict.report.tainted_counts());
+    w.key("declassifications").value(verdict.report.declassifications());
+    w.key("supersteps").value(
+        static_cast<std::uint64_t>(verdict.report.steps.size()));
+    w.key("flagged_steps").begin_array();
+    for (const std::size_t step : verdict.report.flagged_steps()) {
+      w.value(static_cast<std::uint64_t>(step));
+    }
+    w.end_array();
+    w.key("lint").begin_array();
+    for (const audit::LintIssue& issue : verdict.lint.issues) {
+      w.begin_object();
+      w.key("rule").value(issue.rule);
+      w.key("detail").value(issue.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("passed").value(verdict.passed());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  bool json = false;
+  bool quiet = false;
+  std::string kernel;
+  std::uint64_t n = 0;
+  const std::optional<int> early = parse_flags(
+      "audit", args, print_audit_help,
+      [&](const std::string& flag, const std::string& value) {
+        if (flag == "--json") json = true;
+        if (flag == "--quiet") quiet = true;
+        if (flag == "--kernel") kernel = value;
+        if (flag == "--n") n = parse_u64_flag("--n", value);
+      });
+  if (early.has_value()) return *early;
+  if (n != 0 && kernel.empty()) {
+    return usage_error("--n requires --kernel", "audit");
+  }
+
+  std::vector<audit::KernelVerdict> verdicts;
+  if (kernel.empty()) {
+    verdicts = audit::audit_registry();
+  } else {
+    verdicts.push_back(
+        audit::audit_kernel(AlgoRegistry::instance().at(kernel), n));
+  }
+
+  bool all_passed = true;
+  for (const audit::KernelVerdict& verdict : verdicts) {
+    all_passed = all_passed && verdict.passed();
+  }
+
+  if (json) {
+    write_audit_json(std::cout, verdicts);
+  } else if (!quiet) {
+    Table t("static obliviousness audit",
+            {"kernel", "n", "verdict", "registry", "events", "lint"});
+    for (const audit::KernelVerdict& verdict : verdicts) {
+      const std::string events =
+          std::to_string(verdict.report.tainted_destinations()) + " dst, " +
+          std::to_string(verdict.report.tainted_counts()) + " cnt, " +
+          std::to_string(verdict.report.declassifications()) + " decl";
+      t.row()
+          .add(verdict.name)
+          .add(std::to_string(verdict.n))
+          .add(verdict.data_dependent ? "data-dependent" : "oblivious")
+          .add(verdict.matches_registry
+                   ? (verdict.registry_input_independent ? "agrees (indep)"
+                                                         : "agrees (dep)")
+                   : "MISMATCH")
+          .add(events)
+          .add(verdict.lint.clean()
+                   ? "clean"
+                   : verdict.lint.issues.front().rule + " (+" +
+                         std::to_string(verdict.lint.issues.size() - 1) + ")");
+    }
+    std::cout << t;
+    std::cout << (all_passed ? "audit: all kernels pass\n"
+                             : "audit: FAILED\n");
+    if (!all_passed) {
+      for (const audit::KernelVerdict& verdict : verdicts) {
+        for (const audit::LintIssue& issue : verdict.lint.issues) {
+          std::cout << "  " << verdict.name << ": " << issue.rule << ": "
+                    << issue.detail << "\n";
+        }
+        if (!verdict.matches_registry) {
+          std::cout << "  " << verdict.name
+                    << ": verdict disagrees with registry annotation "
+                       "(input_independent = "
+                    << (verdict.registry_input_independent ? "true" : "false")
+                    << ", audited "
+                    << (verdict.data_dependent ? "data-dependent"
+                                               : "oblivious")
+                    << ")\n";
+        }
+      }
+    }
+  }
+  return all_passed ? 0 : 1;
+}
+
 void print_main_help() {
   std::cout <<
       R"(nobl — campaign runner for the network-oblivious algorithm suite.
@@ -1103,6 +1270,9 @@ Subcommands:
   trace    export / inspect / replay recorded traces (csv or binary .nbt)
   convert  translate a trace file between the csv and binary formats
   list     enumerate registered algorithms and builtin campaigns
+  audit    static obliviousness verifier: taint-classify every kernel's
+           program and lint recorded schedules against the D-BSP
+           invariants and registry formulas (docs/AUDIT.md)
   check    validate result JSON, replay golden traces (--golden DIR), or
            gate a serve stats document (--serve-stats FILE), optionally
            against a thresholds file
@@ -1132,6 +1302,7 @@ int dispatch(int argc, char** argv) {
   if (command == "trace") return cmd_trace(args);
   if (command == "convert") return cmd_convert(args);
   if (command == "list") return cmd_list(args);
+  if (command == "audit") return cmd_audit(args);
   if (command == "check") return cmd_check(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "__flags") return cmd_flags_dump();

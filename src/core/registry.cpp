@@ -355,7 +355,9 @@ AlgoRegistry::AlgoRegistry() {
            [](std::uint64_t n, const RunOptions& options) {
              return run_for_trace<std::uint64_t>(
                  n, options,
-                 [&](auto& bk) { (void)broadcast_program(bk, 2, 1); });
+                 [&](auto& bk) {
+                   (void)broadcast_program(bk, 2, std::uint64_t{1});
+                 });
            },
        .predicted =
            [](std::uint64_t, std::uint64_t p, double sigma) {

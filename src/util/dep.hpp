@@ -1,0 +1,166 @@
+// Data-dependence customization points for value-generic programs.
+//
+// The algorithm headers under src/algorithms/ are templated on their payload
+// value type V, so the same program text runs with plain machine values
+// (uint64_t, double, complex) in production and with the audit layer's
+// tracked wrapper (audit/taint.hpp::Tainted<T>) under static obliviousness
+// analysis. The helpers here are the seam between the two instantiations:
+// every payload-order-sensitive operation a kernel performs — sorting a
+// payload segment, a compare-exchange, a positional query against payload
+// values, collapsing a payload-derived index to a raw machine index — goes
+// through a dep:: function instead of the bare std:: call, and the tracked
+// instantiation routes it to taint-aware code selected by is_tracked_v.
+//
+// Layering: this header never includes audit/ code. The generic bodies name
+// tracked-only members (.raw(), .tainted(), .declassify()) exclusively inside
+// `if constexpr (is_tracked_v<V>)` regions, which are discarded without
+// instantiation for plain value types; audit/taint.hpp specializes
+// is_tracked_v and index_type for its wrapper.
+//
+// Semantics contract (docs/AUDIT.md):
+//   * raw()/sort_values/min_value/max_value are payload-safe: the result
+//     stays payload-typed (taint merges, never collapses), so using them
+//     cannot hide a data dependence — a destination still needs a raw
+//     index, which only index() produces.
+//   * index() is the single declassification point: collapsing a tracked
+//     value to a raw index records an event on the audit sink, because a
+//     raw payload-derived index can steer addressing or control flow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <numeric>
+#include <vector>
+
+namespace nobl::dep {
+
+/// True for value wrappers that track data-dependence taint.
+/// audit/taint.hpp specializes this for Tainted<T>; everything else is
+/// a plain machine value.
+template <typename T>
+inline constexpr bool is_tracked_v = false;
+
+/// Index type produced by payload-derived positional queries: a tracked
+/// index for tracked values (the position depends on payload data), a plain
+/// machine index otherwise. audit/taint.hpp provides the tracked mapping.
+template <typename V>
+struct index_type {
+  using type = std::uint64_t;
+};
+template <typename V>
+using index_t = typename index_type<V>::type;
+
+/// Collapse a (possibly tracked) index to a raw machine index. For tracked
+/// values this is a *declassification*: the audit sink records an event,
+/// because raw use of a payload-derived index steers addressing or control
+/// flow — exactly the dependence the obliviousness verdict is about.
+template <typename I>
+[[nodiscard]] std::uint64_t index(const I& i) {
+  if constexpr (is_tracked_v<I>) {
+    return i.declassify();
+  } else {
+    return static_cast<std::uint64_t>(i);
+  }
+}
+
+/// Raw view of a (possibly tracked) value, for payload-safe reads that never
+/// reach a destination or count computation (use index() for those).
+template <typename V>
+[[nodiscard]] auto raw(const V& value) {
+  if constexpr (is_tracked_v<V>) {
+    return value.raw();
+  } else {
+    return value;
+  }
+}
+
+/// std::min over possibly-tracked values: compares raw values and merges
+/// taint into the result. The compare-exchange keeps both lanes
+/// payload-typed, so no declassification happens.
+template <typename V>
+[[nodiscard]] V min_value(const V& a, const V& b) {
+  if constexpr (is_tracked_v<V>) {
+    return V(std::min(a.raw(), b.raw()), a.tainted() || b.tainted());
+  } else {
+    return std::min(a, b);
+  }
+}
+
+/// std::max counterpart of min_value.
+template <typename V>
+[[nodiscard]] V max_value(const V& a, const V& b) {
+  if constexpr (is_tracked_v<V>) {
+    return V(std::max(a.raw(), b.raw()), a.tainted() || b.tainted());
+  } else {
+    return std::max(a, b);
+  }
+}
+
+/// Sort a contiguous payload range in place by raw value order. The
+/// permutation is internal to payload storage — positions, not values,
+/// drive any subsequent sends — so tracked instantiations stay event-free.
+template <typename It>
+void sort_values(It first, It last) {
+  using V = typename std::iterator_traits<It>::value_type;
+  if constexpr (is_tracked_v<V>) {
+    std::sort(first, last,
+              [](const V& a, const V& b) { return a.raw() < b.raw(); });
+  } else {
+    std::sort(first, last);
+  }
+}
+
+/// std::upper_bound position of `key` in the ascending `sorted` — a
+/// *tracked* index when the values are tracked: the position depends on the
+/// payload data, and stays tracked until (if ever) index() collapses it.
+template <typename V>
+[[nodiscard]] index_t<V> upper_bound_index(const std::vector<V>& sorted,
+                                           const V& key) {
+  if constexpr (is_tracked_v<V>) {
+    const auto it =
+        std::upper_bound(sorted.begin(), sorted.end(), key,
+                         [](const V& a, const V& b) { return a.raw() < b.raw(); });
+    bool tainted = key.tainted();
+    for (const V& s : sorted) tainted = tainted || s.tainted();
+    return index_t<V>(static_cast<std::uint64_t>(it - sorted.begin()), tainted);
+  } else {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), key);
+    return static_cast<std::uint64_t>(it - sorted.begin());
+  }
+}
+
+/// Stable ranks by ascending raw value: out[i] is the rank of values[i], with
+/// ties broken by position. Tracked values produce tracked ranks (the rank of
+/// an element depends on the whole payload set); no declassification.
+template <typename V>
+[[nodiscard]] std::vector<index_t<V>> stable_ranks(
+    const std::vector<V>& values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if constexpr (is_tracked_v<V>) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&values](std::size_t a, std::size_t b) {
+                       return values[a].raw() < values[b].raw();
+                     });
+    bool tainted = false;
+    for (const V& value : values) tainted = tainted || value.tainted();
+    std::vector<index_t<V>> ranks(values.size());
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      ranks[order[g]] = index_t<V>(static_cast<std::uint64_t>(g), tainted);
+    }
+    return ranks;
+  } else {
+    std::stable_sort(order.begin(), order.end(),
+                     [&values](std::size_t a, std::size_t b) {
+                       return values[a] < values[b];
+                     });
+    std::vector<index_t<V>> ranks(values.size());
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      ranks[order[g]] = static_cast<std::uint64_t>(g);
+    }
+    return ranks;
+  }
+}
+
+}  // namespace nobl::dep

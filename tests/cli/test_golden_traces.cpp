@@ -161,8 +161,8 @@ TEST(GoldenFixtures, CampaignCoversTheFullKernelSpread) {
 INSTANTIATE_TEST_SUITE_P(
     GoldenCampaign, GoldenTraceTest,
     ::testing::ValuesIn(builtin_campaign("golden").sweeps),
-    [](const ::testing::TestParamInfo<AlgoSweep>& info) {
-      std::string name = info.param.algorithm;
+    [](const ::testing::TestParamInfo<AlgoSweep>& param_info) {
+      std::string name = param_info.param.algorithm;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -59,7 +59,8 @@ TEST(HelpDrift, EveryRegisteredFlagIsDocumentedInHelp) {
   const auto registry = registered_flags();
   ASSERT_FALSE(registry.empty());
   for (const char* expected :
-       {"run", "certify", "trace", "convert", "list", "check", "serve"}) {
+       {"run", "certify", "trace", "convert", "list", "audit", "check",
+        "serve"}) {
     EXPECT_TRUE(registry.count(expected))
         << "subcommand \"" << expected << "\" missing from the flag registry";
   }
@@ -94,7 +95,8 @@ TEST(HelpDrift, RunHelpNamesEveryBuiltinCampaign) {
 
 TEST(HelpDrift, UnknownFlagsExitWithUsageError) {
   for (const char* command :
-       {"run", "certify", "trace", "convert", "list", "check", "serve"}) {
+       {"run", "certify", "trace", "convert", "list", "audit", "check",
+        "serve"}) {
     const CommandOutput out =
         run_cli(std::string(command) + " --definitely-not-a-flag");
     EXPECT_EQ(out.exit_code, 2) << command;

@@ -146,8 +146,8 @@ TEST_P(Conformance, DbspTimeOrderedByTopologyStrength) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Conformance,
                          ::testing::ValuesIn(kProducers),
-                         [](const auto& info) {
-                           return std::string(info.param.name);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
                          });
 
 }  // namespace
